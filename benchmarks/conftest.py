@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the rows it produced, so ``pytest benchmarks/ --benchmark-only`` doubles as
+the reproduction's results generator (the printed tables are what
+EXPERIMENTS.md records).
+
+Set the environment variable ``RCM_BENCH_FULL=1`` to run the simulation-backed
+benchmarks at the paper's scale (N = 2^16 overlays, full sweep grids) instead
+of the default fast mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.workloads import PairWorkload
+
+#: Full paper-scale runs are opt-in because the 2^16-node sweeps take minutes.
+FULL_SCALE = os.environ.get("RCM_BENCH_FULL", "") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Experiment configuration used by all figure benchmarks."""
+    if FULL_SCALE:
+        return ExperimentConfig(fast=False, workload=PairWorkload(pairs=2000, trials=3))
+    return ExperimentConfig(fast=True, workload=PairWorkload(pairs=600, trials=2))
+
+
+def run_and_report(benchmark, experiment_id: str, config: ExperimentConfig):
+    """Benchmark one experiment run and print its tables for the record."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

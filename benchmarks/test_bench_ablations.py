@@ -1,0 +1,33 @@
+"""Benchmarks for the extension / ablation experiments called out in DESIGN.md.
+
+* EXT-SYM — Symphony degree sensitivity (the "add more neighbours" design remark).
+* EXT-XOR-TREE — the value of XOR's lower-order-bit fallback (same n(h) as the tree).
+* EXT-PERC — connectivity vs routability on the same failure patterns.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_symphony_degree_sensitivity(benchmark, experiment_config):
+    result = run_and_report(benchmark, "EXT-SYM", experiment_config)
+    rows = result.table("symphony_sensitivity")
+    sparse = next(row for row in rows if row["kn"] == 1 and row["ks"] == 1)
+    dense = next(row for row in rows if row["kn"] == 4 and row["ks"] == 4)
+    assert dense["routability_d20"] > sparse["routability_d20"]
+
+
+def test_xor_versus_tree_ablation(benchmark, experiment_config):
+    result = run_and_report(benchmark, "EXT-XOR-TREE", experiment_config)
+    for row in result.table("ablation_d16"):
+        if row["q"] > 0.0:
+            assert row["xor_gain_over_tree"] > 0.0
+
+
+def test_percolation_versus_routability(benchmark, experiment_config):
+    result = run_and_report(benchmark, "EXT-PERC", experiment_config)
+    rows = result.table("percolation_vs_routability")
+    assert all(
+        row["largest_component_fraction"] >= row["measured_routability"] - 0.05 for row in rows
+    )

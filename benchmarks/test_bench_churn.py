@@ -1,0 +1,17 @@
+"""Benchmark EXT-CHURN: the static model's applicability to churn (paper's future work).
+
+Prints the per-step comparison between measured routability under churn and
+the static RCM prediction at the effective failure probability.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_churn_applicability(benchmark, experiment_config):
+    result = run_and_report(benchmark, "EXT-CHURN", experiment_config)
+    errors = {row["geometry"]: row for row in result.table("prediction_error_summary")}
+    # The static model evaluated at q_eff(t) tracks the churn measurements.
+    for row in errors.values():
+        assert row["mean_absolute_error"] < 0.15

@@ -1,0 +1,19 @@
+"""Benchmark FIG1-3: regenerate the paper's worked hypercube example (Figures 1-3).
+
+Prints the Figure 3 distance/probability table and the four-way routability
+validation (closed form, Markov chain, exact Definition-1 enumeration,
+Monte-Carlo simulation) for the 8-node CAN example.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_fig123_worked_example(benchmark, experiment_config):
+    result = run_and_report(benchmark, "FIG1-3", experiment_config)
+    rows = result.table("routability_validation")
+    # The reproduction claim: all computations agree on the toy example.
+    for row in rows:
+        assert abs(row["p3_closed_form"] - row["p3_markov_chain"]) < 1e-9
+        assert abs(row["routability_exact_denominator"] - row["routability_exact_definition"]) < 0.05

@@ -1,0 +1,21 @@
+"""Benchmark FIG6A: percent of failed paths vs failure probability (Figure 6(a)).
+
+Regenerates both series of the paper's Figure 6(a) — the analytical RCM
+curves at N = 2^16 and the Monte-Carlo overlay simulation — for the tree,
+hypercube and XOR geometries, and prints the merged table.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_fig6a_static_resilience(benchmark, experiment_config):
+    result = run_and_report(benchmark, "FIG6A", experiment_config)
+    rows = result.table("fig6a_failed_path_percent")
+    # Shape claims of Figure 6(a): tree worst, hypercube best, all curves rise with q.
+    for row in rows:
+        if row["q"] >= 0.15:
+            assert row["tree_analytical"] > row["xor_analytical"] > row["hypercube_analytical"]
+    hypercube = [row["hypercube_analytical"] for row in rows]
+    assert hypercube == sorted(hypercube)

@@ -1,0 +1,21 @@
+"""Benchmark FIG6B: ring (Chord) routing, analytical bound vs simulation (Figure 6(b)).
+
+Prints the regenerated Figure 6(b) series together with the bound gap, the
+quantity the paper discusses qualitatively ("very close ... for failure
+probability less than 20%").
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_fig6b_ring_bound(benchmark, experiment_config):
+    result = run_and_report(benchmark, "FIG6B", experiment_config)
+    rows = result.table("fig6b_failed_path_percent")
+    # The analytical curve upper-bounds the simulated failed paths in the practical
+    # region (small Monte-Carlo slack allowed), as the paper states.
+    for row in rows:
+        if 0.0 < row["q"] <= 0.2:
+            assert row["ring_analytical_upper_bound"] >= row["ring_simulated"] - 6.0
+    assert rows[0]["ring_analytical_upper_bound"] == 0.0

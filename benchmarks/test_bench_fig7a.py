@@ -1,0 +1,25 @@
+"""Benchmark FIG7A: failed paths vs failure probability at N = 2^100 (Figure 7(a)).
+
+Prints the asymptotic-limit curves for all five geometries plus each
+geometry's drift relative to N = 2^16, reproducing the scalable/unscalable
+split of Figure 7(a).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_fig7a_asymptotic_limit(benchmark, experiment_config):
+    result = run_and_report(benchmark, "FIG7A", experiment_config)
+    rows = result.table("fig7a_failed_path_percent")
+    for row in rows:
+        if row["q"] >= 0.15:
+            # Unscalable geometries behave like a step function at N = 2^100.
+            assert row["tree"] > 99.0
+            assert row["smallworld"] > 99.0
+            # Scalable geometries keep the majority of paths alive at moderate q.
+            if row["q"] <= 0.3:
+                assert row["hypercube"] < 20.0
+                assert row["xor"] < 30.0
+                assert row["ring"] < 20.0

@@ -1,0 +1,19 @@
+"""Benchmark FIG7B: routability vs system size at q = 0.1 (Figure 7(b)).
+
+Prints the scaling curves for all five geometries from 16 nodes to beyond
+10^10 nodes, reproducing the monotone collapse of the tree and Symphony
+geometries and the flatness of the other three.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_fig7b_scaling(benchmark, experiment_config):
+    result = run_and_report(benchmark, "FIG7B", experiment_config)
+    summary = {row["geometry"]: row for row in result.table("scaling_summary")}
+    assert summary["tree"]["monotonically_degrading"]
+    assert summary["smallworld"]["monotonically_degrading"]
+    for geometry in ("hypercube", "xor", "ring"):
+        assert summary[geometry]["routability_at_largest_n"] > 90.0

@@ -1,0 +1,25 @@
+"""Benchmark TAB-SCAL: the Section 5 scalability classification.
+
+Prints the scalable/unscalable verdict for every geometry together with the
+numerical convergence evidence backing it.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+PAPER_VERDICTS = {
+    "tree": False,
+    "hypercube": True,
+    "xor": True,
+    "ring": True,
+    "smallworld": False,
+}
+
+
+def test_scalability_classification(benchmark, experiment_config):
+    result = run_and_report(benchmark, "TAB-SCAL", experiment_config)
+    verdicts = {
+        row["geometry"]: row["scalable"] for row in result.table("scalability_classification")
+    }
+    assert verdicts == PAPER_VERDICTS

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Capacity planning: which DHT routing geometry survives *your* deployment?
+
+The paper's concluding remark is that designers "can use the method to
+assess the performance of proposed architectures and to choose robust
+routing algorithms".  This example does exactly that for a hypothetical
+file-sharing deployment:
+
+* expected population: 4 million nodes (d ≈ 22),
+* observed short-term node failure rate: 20% (churned peers whose routing
+  table entries have not been repaired yet),
+* service target: at least 90% of lookups must still succeed.
+
+It ranks the five geometries against the target, then shows how far each
+geometry could scale before dropping below the target — including how many
+extra links the Symphony design would need to stay in the race.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import PAPER_GEOMETRIES, get_geometry, routability
+from repro.report import render_table
+
+EXPECTED_NODES = 4_000_000
+FAILURE_RATE = 0.2
+TARGET_ROUTABILITY = 0.9
+
+
+def identifier_length_for(nodes: int) -> int:
+    """Smallest identifier length whose fully populated space holds ``nodes``."""
+    return max(1, math.ceil(math.log2(nodes)))
+
+
+def rank_geometries() -> None:
+    """Rank the five basic geometries against the deployment target."""
+    d = identifier_length_for(EXPECTED_NODES)
+    rows = []
+    for geometry in PAPER_GEOMETRIES:
+        value = routability(geometry, FAILURE_RATE, d=d)
+        rows.append(
+            {
+                "geometry": geometry,
+                "system": get_geometry(geometry).system_name,
+                "routability": value,
+                "meets_90pct_target": value >= TARGET_ROUTABILITY,
+            }
+        )
+    rows.sort(key=lambda row: row["routability"], reverse=True)
+    print(
+        render_table(
+            rows,
+            title=(
+                f"Deployment check: N≈{EXPECTED_NODES:,} (d={d}), q={FAILURE_RATE:.0%}, "
+                f"target {TARGET_ROUTABILITY:.0%}"
+            ),
+        )
+    )
+    print()
+
+
+def maximum_supported_size() -> None:
+    """Largest network each geometry supports before dropping below the target."""
+    rows = []
+    for geometry in PAPER_GEOMETRIES:
+        model = get_geometry(geometry)
+        supported = None
+        for d in range(4, 41):
+            if model.routability(FAILURE_RATE, d=d) >= TARGET_ROUTABILITY:
+                supported = d
+        rows.append(
+            {
+                "geometry": geometry,
+                "largest_supported_d": supported if supported is not None else "none",
+                "largest_supported_n": f"2^{supported}" if supported is not None else "-",
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"Largest size with routability >= {TARGET_ROUTABILITY:.0%} at q={FAILURE_RATE:.0%}",
+        )
+    )
+    print()
+
+
+def symphony_upgrade_path() -> None:
+    """How many links Symphony needs to clear the target at the deployment size."""
+    d = identifier_length_for(EXPECTED_NODES)
+    rows = []
+    for near_neighbors, shortcuts in ((1, 1), (2, 2), (4, 4), (8, 8), (16, 8)):
+        value = routability(
+            "smallworld", FAILURE_RATE, d=d, near_neighbors=near_neighbors, shortcuts=shortcuts
+        )
+        rows.append(
+            {
+                "kn": near_neighbors,
+                "ks": shortcuts,
+                "routability": value,
+                "meets_target": value >= TARGET_ROUTABILITY,
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"Symphony with extra links at d={d}, q={FAILURE_RATE:.0%} "
+            "(the paper's 'add enough sequential neighbors' remark, quantified)",
+        )
+    )
+
+
+def main() -> None:
+    rank_geometries()
+    maximum_supported_size()
+    symphony_upgrade_path()
+
+
+if __name__ == "__main__":
+    main()

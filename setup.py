@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments that lack the ``wheel``
+package (where PEP 660 editable installs are unavailable and pip falls back
+to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""repro — a reproduction of "A General Framework for Scalability and Performance
+Analysis of DHT Routing Systems" (Kong, Bridgewater, Roychowdhury; DSN 2006).
+
+The package has two halves that validate each other:
+
+* :mod:`repro.core` — the **Reachable Component Method (RCM)**, the paper's
+  analytical framework: closed-form routability ``r(N, q)`` and scalability
+  verdicts for the tree (Plaxton), hypercube (CAN), XOR (Kademlia), ring
+  (Chord) and small-world (Symphony) routing geometries.
+* :mod:`repro.dht` + :mod:`repro.sim` — from-scratch overlay **simulators**
+  for the same five systems and a Monte-Carlo static-resilience driver, the
+  stand-in for the simulation study the paper compares against.
+
+Supporting subpackages: :mod:`repro.markov` (absorbing-chain engine and the
+paper's routing chains), :mod:`repro.percolation` (connected vs reachable
+components), :mod:`repro.experiments` (one harness per paper figure),
+:mod:`repro.workloads` and :mod:`repro.report`.
+
+Quickstart
+----------
+>>> from repro import routability, failed_path_percent
+>>> 0.9 < routability("xor", q=0.1, d=16) <= 1.0     # Kademlia, N = 2^16, 10% failures
+True
+>>> from repro import simulate_geometry
+>>> sweep = simulate_geometry("hypercube", d=10, failure_probabilities=[0.2], pairs=500, seed=1)
+>>> 0.0 <= sweep.results[0].routability <= 1.0
+True
+"""
+
+from .core import (
+    PAPER_GEOMETRIES,
+    GeometryCurve,
+    HypercubeGeometry,
+    RCMAnalysis,
+    ReachableComponentMethod,
+    RingGeometry,
+    RoutingGeometry,
+    ScalabilityAssessment,
+    ScalabilityVerdict,
+    SmallWorldGeometry,
+    TreeGeometry,
+    XorGeometry,
+    analyze,
+    assess_scalability,
+    compare_geometries,
+    expected_reachable_component,
+    failed_path_curve,
+    failed_path_fraction,
+    failed_path_percent,
+    get_geometry,
+    list_geometries,
+    register_geometry,
+    routability,
+    routability_scaling_curve,
+    scalability_report,
+)
+from .dht import (
+    ChordOverlay,
+    HypercubeOverlay,
+    IdentifierSpace,
+    KademliaOverlay,
+    Overlay,
+    OVERLAY_CLASSES,
+    PlaxtonOverlay,
+    RouteResult,
+    RoutingMetrics,
+    SymphonyOverlay,
+    UniformNodeFailure,
+)
+from .exceptions import (
+    ConvergenceError,
+    ExperimentError,
+    InvalidParameterError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+    UnknownGeometryError,
+)
+from .sim import (
+    ResilienceSweepResult,
+    StaticResilienceResult,
+    build_overlay,
+    measure_routability,
+    simulate_geometry,
+    sweep_failure_probabilities,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analytical core
+    "PAPER_GEOMETRIES",
+    "GeometryCurve",
+    "RoutingGeometry",
+    "ScalabilityVerdict",
+    "ScalabilityAssessment",
+    "RCMAnalysis",
+    "ReachableComponentMethod",
+    "TreeGeometry",
+    "HypercubeGeometry",
+    "XorGeometry",
+    "RingGeometry",
+    "SmallWorldGeometry",
+    "analyze",
+    "assess_scalability",
+    "compare_geometries",
+    "expected_reachable_component",
+    "failed_path_curve",
+    "failed_path_fraction",
+    "failed_path_percent",
+    "get_geometry",
+    "list_geometries",
+    "register_geometry",
+    "routability",
+    "routability_scaling_curve",
+    "scalability_report",
+    # simulators
+    "IdentifierSpace",
+    "Overlay",
+    "OVERLAY_CLASSES",
+    "PlaxtonOverlay",
+    "HypercubeOverlay",
+    "KademliaOverlay",
+    "ChordOverlay",
+    "SymphonyOverlay",
+    "RouteResult",
+    "RoutingMetrics",
+    "UniformNodeFailure",
+    "ResilienceSweepResult",
+    "StaticResilienceResult",
+    "build_overlay",
+    "measure_routability",
+    "simulate_geometry",
+    "sweep_failure_probabilities",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "UnknownGeometryError",
+    "RoutingError",
+    "TopologyError",
+    "ExperimentError",
+    "ConvergenceError",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``rcm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``rcm list``
+    List every registered experiment with its paper reference.
+``rcm run FIG6A [--full] [--csv TABLE]``
+    Run one experiment and print its tables (optionally one table as CSV).
+``rcm routability --geometry xor --q 0.3 --d 16``
+    Evaluate the analytical routability of one geometry at one point.
+``rcm scalability``
+    Print the Section 5 scalability classification.
+``rcm simulate --geometry ring --d 10 --q 0.1 0.3 --pairs 1000``
+    Run the Monte-Carlo overlay simulator and print measured routability.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.geometry import list_geometries
+from .core.routability import compare_geometries, routability
+from .core.scalability import scalability_report
+from .experiments import ExperimentConfig, list_experiments, run_experiment
+from .report.tables import render_table
+from .sim.static_resilience import simulate_geometry
+from .workloads.generators import PairWorkload
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed separately for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rcm",
+        description=(
+            "Reachable Component Method: scalability and performance analysis of DHT routing "
+            "systems (reproduction of Kong et al., DSN 2006)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment by id (e.g. FIG6A)")
+    run_parser.add_argument("experiment_id", help="experiment id from DESIGN.md (e.g. FIG7B)")
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale (N = 2^16 simulations, full sweeps) instead of fast mode",
+    )
+    run_parser.add_argument("--csv", metavar="TABLE", help="emit one named table as CSV instead of text")
+    run_parser.add_argument("--pairs", type=int, default=2000, help="Monte-Carlo pairs per trial")
+    run_parser.add_argument("--trials", type=int, default=3, help="failure patterns per point")
+    run_parser.add_argument("--seed", type=int, default=PairWorkload().seed, help="base random seed")
+
+    routability_parser = subparsers.add_parser(
+        "routability", help="evaluate the analytical routability of one geometry"
+    )
+    routability_parser.add_argument("--geometry", required=True, choices=sorted(list_geometries()))
+    routability_parser.add_argument("--q", type=float, required=True, help="node failure probability")
+    routability_parser.add_argument("--d", type=int, required=True, help="identifier length (N = 2^d)")
+
+    subparsers.add_parser("scalability", help="print the Section 5 scalability classification")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare all geometries at one (d, q) operating point"
+    )
+    compare_parser.add_argument("--q", type=float, default=0.1)
+    compare_parser.add_argument("--d", type=int, default=16)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the Monte-Carlo overlay simulator for one geometry"
+    )
+    simulate_parser.add_argument("--geometry", required=True, choices=sorted(list_geometries()))
+    simulate_parser.add_argument("--d", type=int, default=10, help="identifier length (N = 2^d)")
+    simulate_parser.add_argument("--q", type=float, nargs="+", required=True, help="failure probabilities")
+    simulate_parser.add_argument("--pairs", type=int, default=1000)
+    simulate_parser.add_argument("--trials", type=int, default=3)
+    simulate_parser.add_argument("--seed", type=int, default=PairWorkload().seed)
+    return parser
+
+
+def _command_list() -> str:
+    rows = [
+        {"experiment": experiment_id, "title": title, "reproduces": reference}
+        for experiment_id, title, reference in list_experiments()
+    ]
+    return render_table(rows, title="Available experiments")
+
+
+def _command_run(arguments: argparse.Namespace) -> str:
+    config = ExperimentConfig(
+        fast=not arguments.full,
+        workload=PairWorkload(pairs=arguments.pairs, trials=arguments.trials, seed=arguments.seed),
+    )
+    result = run_experiment(arguments.experiment_id, config)
+    if arguments.csv:
+        return result.to_csv(arguments.csv)
+    return result.render()
+
+
+def _command_routability(arguments: argparse.Namespace) -> str:
+    value = routability(arguments.geometry, arguments.q, d=arguments.d)
+    return (
+        f"{arguments.geometry}: routability(N=2^{arguments.d}, q={arguments.q:g}) = {value:.6f} "
+        f"({100 * (1 - value):.2f}% failed paths)"
+    )
+
+
+def _command_scalability() -> str:
+    rows = scalability_report(list(list_geometries()))
+    return render_table(rows, title="Scalability classification (Section 5)")
+
+
+def _command_compare(arguments: argparse.Namespace) -> str:
+    rows = compare_geometries(list(list_geometries()), arguments.q, d=arguments.d)
+    return render_table(
+        rows, title=f"Geometry comparison at N=2^{arguments.d}, q={arguments.q:g}"
+    )
+
+
+def _command_simulate(arguments: argparse.Namespace) -> str:
+    sweep = simulate_geometry(
+        arguments.geometry,
+        arguments.d,
+        arguments.q,
+        pairs=arguments.pairs,
+        trials=arguments.trials,
+        seed=arguments.seed,
+    )
+    rows = sweep.as_rows()
+    return render_table(
+        rows,
+        title=f"Measured routability: {arguments.geometry} overlay, N=2^{arguments.d}",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(list(argv) if argv is not None else None)
+    if arguments.command == "list":
+        output = _command_list()
+    elif arguments.command == "run":
+        output = _command_run(arguments)
+    elif arguments.command == "routability":
+        output = _command_routability(arguments)
+    elif arguments.command == "scalability":
+        output = _command_scalability()
+    elif arguments.command == "compare":
+        output = _command_compare(arguments)
+    elif arguments.command == "simulate":
+        output = _command_simulate(arguments)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {arguments.command!r}")
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The Reachable Component Method — the paper's analytical framework.
+
+Layers:
+
+* :mod:`repro.core.geometry` / :mod:`repro.core.geometries` — the
+  per-geometry ingredients ``n(h)`` and ``Q(m)`` plus everything derived
+  from them.
+* :mod:`repro.core.rcm` — the five-step method as an explicit pipeline.
+* :mod:`repro.core.routability` — one-line analytical entry points and
+  curve/sweep helpers.
+* :mod:`repro.core.scalability` / :mod:`repro.core.series` — the Section 5
+  scalability classification and its numerical cross-checks.
+"""
+
+from .geometry import (
+    REGISTRY,
+    RoutingGeometry,
+    ScalabilityVerdict,
+    get_geometry,
+    list_geometries,
+    register_geometry,
+    resolve_identifier_length,
+)
+from .geometries import (
+    PAPER_GEOMETRIES,
+    HypercubeGeometry,
+    RingGeometry,
+    SmallWorldGeometry,
+    TreeGeometry,
+    XorGeometry,
+)
+from .rcm import RCMAnalysis, ReachableComponentMethod, analyze
+from .routability import (
+    GeometryCurve,
+    compare_geometries,
+    expected_reachable_component,
+    failed_path_curve,
+    failed_path_fraction,
+    failed_path_percent,
+    routability,
+    routability_scaling_curve,
+)
+from .scalability import (
+    ScalabilityAssessment,
+    assess_scalability,
+    numerical_success_limit,
+    scalability_report,
+)
+from .series import (
+    SeriesVerdict,
+    diagnose_series_convergence,
+    estimate_product_limit,
+    knopp_product_positive,
+    log_product_from_terms,
+    partial_products,
+    partial_sums,
+    product_from_terms,
+    ratio_test,
+)
+
+__all__ = [
+    "REGISTRY",
+    "RoutingGeometry",
+    "ScalabilityVerdict",
+    "get_geometry",
+    "list_geometries",
+    "register_geometry",
+    "resolve_identifier_length",
+    "PAPER_GEOMETRIES",
+    "TreeGeometry",
+    "HypercubeGeometry",
+    "XorGeometry",
+    "RingGeometry",
+    "SmallWorldGeometry",
+    "RCMAnalysis",
+    "ReachableComponentMethod",
+    "analyze",
+    "GeometryCurve",
+    "compare_geometries",
+    "expected_reachable_component",
+    "failed_path_curve",
+    "failed_path_fraction",
+    "failed_path_percent",
+    "routability",
+    "routability_scaling_curve",
+    "ScalabilityAssessment",
+    "assess_scalability",
+    "numerical_success_limit",
+    "scalability_report",
+    "SeriesVerdict",
+    "diagnose_series_convergence",
+    "estimate_product_limit",
+    "knopp_product_positive",
+    "log_product_from_terms",
+    "partial_products",
+    "partial_sums",
+    "product_from_terms",
+    "ratio_test",
+]

@@ -1,0 +1,26 @@
+"""The five routing geometries analysed by the paper.
+
+Importing this package registers every geometry in
+:data:`repro.core.geometry.REGISTRY`; use
+:func:`repro.core.geometry.get_geometry` to instantiate them by name
+("tree", "hypercube", "xor", "ring", "smallworld") or by system alias
+("plaxton", "can", "kademlia", "chord", "symphony").
+"""
+
+from .tree import TreeGeometry
+from .hypercube import HypercubeGeometry
+from .xor import XorGeometry
+from .ring import RingGeometry
+from .smallworld import SmallWorldGeometry
+
+#: The geometries of the paper in the order its tables/figures list them.
+PAPER_GEOMETRIES = ("tree", "hypercube", "xor", "ring", "smallworld")
+
+__all__ = [
+    "TreeGeometry",
+    "HypercubeGeometry",
+    "XorGeometry",
+    "RingGeometry",
+    "SmallWorldGeometry",
+    "PAPER_GEOMETRIES",
+]

@@ -1,0 +1,87 @@
+"""Tree (Plaxton) routing geometry — Section 3.1 / 4.3.1 of the paper.
+
+Distance distribution and per-phase failure:
+
+* ``n(h) = C(d, h)`` — nodes at Hamming distance ``h`` from the root.
+* ``Q(m) = q`` — at every step exactly one neighbour (the one correcting the
+  current highest-order differing bit) can make progress, so each phase
+  fails independently with probability ``q`` and ``p(h, q) = (1 - q)^h``.
+
+The paper's closed form for the routability follows by summing the binomial
+series:
+
+    r = ((2 - q)^d - 1) / ((1 - q) 2^d - 1)
+
+and the geometry is **unscalable**: ``lim_{h->inf} (1 - q)^h = 0`` for any
+``q > 0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...validation import check_failure_probability, check_identifier_length, check_positive_int
+from ..geometry import RoutingGeometry, ScalabilityVerdict, register_geometry
+from ._binomial import log_binomial_distance_distribution
+
+__all__ = ["TreeGeometry"]
+
+LN2 = math.log(2.0)
+
+
+@register_geometry
+class TreeGeometry(RoutingGeometry):
+    """Analytical model of the Plaxton-tree routing geometry."""
+
+    name = "tree"
+    system_name = "Plaxton"
+
+    def log_distance_distribution(self, d: int) -> np.ndarray:
+        return log_binomial_distance_distribution(d)
+
+    def phase_failure_probability(self, m: int, q: float, d: int) -> float:
+        """``Q(m) = q``: the single usable neighbour must be alive, regardless of ``m``."""
+        check_positive_int(m, "phase m")
+        q = check_failure_probability(q)
+        check_identifier_length(d)
+        return q
+
+    def path_success_probability(self, h: int, q: float, d: int | None = None) -> float:
+        """``p(h, q) = (1 - q)^h`` (specialised closed form; the generic product agrees)."""
+        q = check_failure_probability(q)
+        h = check_positive_int(h, "hop count h")
+        return (1.0 - q) ** h
+
+    def closed_form_routability(self, d: int, q: float) -> float:
+        """The paper's closed form ``r = ((2 - q)^d - 1) / ((1 - q) 2^d - 1)``.
+
+        Evaluated in log space so it matches :meth:`RoutingGeometry.routability`
+        for the asymptotic ``d = 100`` setting as well.  At ``q = 1`` the
+        denominator is negative (no survivors) and the routability is 0.
+        """
+        d = check_identifier_length(d)
+        q = check_failure_probability(q)
+        if q == 0.0:
+            return 1.0
+        if q == 1.0:
+            return 0.0
+        log_survivors = d * LN2 + math.log1p(-q)
+        if log_survivors <= 0.0:
+            return 0.0
+        log_numerator = d * math.log(2.0 - q) + math.log1p(-math.exp(-d * math.log(2.0 - q)))
+        log_denominator = log_survivors + math.log1p(-math.exp(-log_survivors))
+        return float(min(1.0, math.exp(log_numerator - log_denominator)))
+
+    def scalability(self) -> ScalabilityVerdict:
+        return ScalabilityVerdict(
+            geometry=self.name,
+            scalable=False,
+            series_behaviour="sum_m Q(m) = sum_m q diverges (constant terms)",
+            argument=(
+                "p(h, q) = (1 - q)^h tends to 0 as h grows for any q > 0: each phase "
+                "depends on a single specific neighbour, so failures compound without bound "
+                "and the routability vanishes in the large-network limit (Section 5.1)."
+            ),
+        )

@@ -1,0 +1,80 @@
+"""DHT overlay simulators — the simulation substrate of the reproduction.
+
+This subpackage rebuilds, from scratch, discrete overlay simulators for the
+five DHT routing systems analysed by the paper (Plaxton tree, CAN hypercube,
+Kademlia, Chord and Symphony), together with the identifier-space math,
+failure models and routing bookkeeping they share.  The Monte-Carlo driver
+that turns these overlays into measured routability curves lives in
+:mod:`repro.sim`.
+"""
+
+from .identifiers import (
+    IdentifierSpace,
+    absolute_ring_distance,
+    bit_at,
+    common_prefix_length,
+    flip_bit,
+    hamming_distance,
+    highest_differing_bit,
+    phase_of_distance,
+    ring_distance,
+    xor_distance,
+)
+from .failures import (
+    FailureModel,
+    RegionalFailure,
+    TargetedNodeFailure,
+    UniformNodeFailure,
+    survival_mask,
+    surviving_identifiers,
+)
+from .network import Overlay, make_rng
+from .routing import FailureReason, RouteResult, RouteTrace
+from .metrics import RoutingMetrics, summarize_routes, wilson_interval
+from .plaxton import PlaxtonOverlay
+from .can import HypercubeOverlay
+from .kademlia import KademliaOverlay
+from .chord import ChordOverlay
+from .symphony import SymphonyOverlay
+
+#: Overlay classes keyed by the paper's geometry label.
+OVERLAY_CLASSES = {
+    PlaxtonOverlay.geometry_name: PlaxtonOverlay,
+    HypercubeOverlay.geometry_name: HypercubeOverlay,
+    KademliaOverlay.geometry_name: KademliaOverlay,
+    ChordOverlay.geometry_name: ChordOverlay,
+    SymphonyOverlay.geometry_name: SymphonyOverlay,
+}
+
+__all__ = [
+    "IdentifierSpace",
+    "absolute_ring_distance",
+    "bit_at",
+    "common_prefix_length",
+    "flip_bit",
+    "hamming_distance",
+    "highest_differing_bit",
+    "phase_of_distance",
+    "ring_distance",
+    "xor_distance",
+    "FailureModel",
+    "UniformNodeFailure",
+    "TargetedNodeFailure",
+    "RegionalFailure",
+    "survival_mask",
+    "surviving_identifiers",
+    "Overlay",
+    "make_rng",
+    "FailureReason",
+    "RouteResult",
+    "RouteTrace",
+    "RoutingMetrics",
+    "summarize_routes",
+    "wilson_interval",
+    "PlaxtonOverlay",
+    "HypercubeOverlay",
+    "KademliaOverlay",
+    "ChordOverlay",
+    "SymphonyOverlay",
+    "OVERLAY_CLASSES",
+]

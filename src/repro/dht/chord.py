@@ -1,0 +1,122 @@
+"""Chord overlay simulator (the paper's *ring* geometry).
+
+Nodes sit on a ring of ``N = 2^d`` identifiers.  Node ``a`` keeps ``d``
+fingers, the *i*-th at clockwise distance in ``[2^(d-i), 2^(d-i+1))``.
+The paper analyses the *randomised* variant, where the distance is drawn
+uniformly from that range; the classic deterministic variant (finger at
+exactly distance ``2^(d-i)``) is also provided and used by ablation
+experiments.
+
+Routing is greedy on the ring: the message is always forwarded to the alive
+finger that gets closest to the destination *without overshooting it*.
+Unlike the tree and XOR geometries, progress made by a suboptimal hop is
+preserved by later hops — this is why the paper's analytical ring curve is
+only a bound (an upper bound on failed paths / lower bound on routability),
+a gap quantified by experiment FIG6B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import TopologyError
+from ..validation import check_identifier_length
+from .identifiers import IdentifierSpace, ring_distance
+from .network import Overlay, make_rng
+from .routing import FailureReason, RouteResult, RouteTrace
+
+__all__ = ["ChordOverlay", "FINGER_MODES"]
+
+FINGER_MODES = ("randomized", "deterministic")
+
+
+class ChordOverlay(Overlay):
+    """Static Chord (ring) overlay over a fully populated ``d``-bit space."""
+
+    geometry_name = "ring"
+    system_name = "Chord"
+
+    def __init__(self, space: IdentifierSpace, tables: np.ndarray, finger_mode: str) -> None:
+        super().__init__(space)
+        if tables.shape != (space.size, space.d):
+            raise TopologyError(
+                f"ring routing tables have shape {tables.shape}, expected {(space.size, space.d)}"
+            )
+        if finger_mode not in FINGER_MODES:
+            raise TopologyError(f"unknown finger mode {finger_mode!r}; expected one of {FINGER_MODES}")
+        self._tables = tables
+        self._finger_mode = finger_mode
+
+    @classmethod
+    def build(
+        cls,
+        d: int,
+        *,
+        finger_mode: str = "randomized",
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> "ChordOverlay":
+        """Build the overlay; ``finger_mode`` selects randomised or classic fingers."""
+        d = check_identifier_length(d)
+        if finger_mode not in FINGER_MODES:
+            raise TopologyError(f"unknown finger mode {finger_mode!r}; expected one of {FINGER_MODES}")
+        space = IdentifierSpace(d)
+        n = space.size
+        generator = make_rng(rng, seed)
+        identifiers = np.arange(n, dtype=np.int64)
+        tables = np.empty((n, d), dtype=np.int64)
+        for finger in range(1, d + 1):
+            low = 1 << (d - finger)
+            high = min(n, 1 << (d - finger + 1))
+            if finger_mode == "deterministic" or high - low <= 1:
+                offsets = np.full(n, low, dtype=np.int64)
+            else:
+                offsets = generator.integers(low, high, size=n, dtype=np.int64)
+            tables[:, finger - 1] = (identifiers + offsets) % n
+        return cls(space, tables, finger_mode)
+
+    @property
+    def finger_mode(self) -> str:
+        """Which finger construction was used (``"randomized"`` or ``"deterministic"``)."""
+        return self._finger_mode
+
+    def finger(self, node: int, index: int) -> int:
+        """The ``index``-th finger of ``node`` (1-based; finger 1 reaches roughly half-way around)."""
+        node = self._space.validate(node)
+        if index < 1 or index > self.d:
+            raise TopologyError(f"finger index {index} outside 1..{self.d}")
+        return int(self._tables[node, index - 1])
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        node = self._space.validate(node)
+        return tuple(int(v) for v in self._tables[node])
+
+    def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:
+        """Greedy clockwise routing without overshooting the destination."""
+        alive = self._check_route_arguments(source, destination, alive)
+        n = self.n_nodes
+        trace = RouteTrace(source, destination, hop_limit=self.hop_limit())
+        while trace.current != destination:
+            if trace.hop_budget_exhausted:
+                return trace.failure(FailureReason.HOP_LIMIT_EXCEEDED)
+            current = trace.current
+            remaining = ring_distance(current, destination, n)
+            best_neighbor = -1
+            best_remaining = remaining
+            for neighbor in self._tables[current]:
+                neighbor = int(neighbor)
+                if not alive[neighbor]:
+                    continue
+                progress = ring_distance(current, neighbor, n)
+                if progress == 0 or progress > remaining:
+                    continue  # no progress, or it would overshoot the destination
+                distance_after = remaining - progress
+                if distance_after < best_remaining:
+                    best_remaining = distance_after
+                    best_neighbor = neighbor
+            if best_neighbor < 0:
+                return trace.failure(FailureReason.DEAD_END)
+            trace.advance(best_neighbor)
+        return trace.success()

@@ -1,0 +1,147 @@
+"""Failure models for the static-resilience experiments.
+
+The paper analyses DHT routing under *uniform random node failure with
+probability q* ("static resilience": routing tables are frozen after the
+failures occur, no repair happens).  The central object here is a survival
+mask — a boolean array with one entry per identifier, ``True`` meaning the
+node is alive.
+
+Additional failure models (targeted failure of high-degree nodes,
+correlated regional failures) are provided as extensions; they exercise the
+same simulator code paths and are used by the extension experiments, not by
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import check_failure_probability, check_node_count
+
+__all__ = [
+    "FailureModel",
+    "UniformNodeFailure",
+    "TargetedNodeFailure",
+    "RegionalFailure",
+    "survival_mask",
+    "surviving_identifiers",
+]
+
+
+def survival_mask(n_nodes: int, q: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample a survival mask for ``n_nodes`` under uniform failure probability ``q``.
+
+    Entry ``i`` is ``True`` when node ``i`` survives, which happens
+    independently with probability ``1 - q``.
+    """
+    n_nodes = check_node_count(n_nodes)
+    q = check_failure_probability(q)
+    return rng.random(n_nodes) >= q
+
+
+def surviving_identifiers(mask: np.ndarray) -> np.ndarray:
+    """Identifiers of surviving nodes given a survival mask."""
+    mask = np.asarray(mask, dtype=bool)
+    return np.flatnonzero(mask)
+
+
+class FailureModel(abc.ABC):
+    """Strategy that turns an identifier-space size into a survival mask."""
+
+    @abc.abstractmethod
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean survival mask of length ``n_nodes``."""
+
+    @property
+    @abc.abstractmethod
+    def description(self) -> str:
+        """Short human-readable description used in experiment reports."""
+
+
+@dataclass(frozen=True)
+class UniformNodeFailure(FailureModel):
+    """The paper's failure model: every node fails independently with probability ``q``."""
+
+    q: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "q", check_failure_probability(self.q))
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        return survival_mask(n_nodes, self.q, rng)
+
+    @property
+    def description(self) -> str:
+        return f"uniform node failure, q={self.q:g}"
+
+
+@dataclass(frozen=True)
+class TargetedNodeFailure(FailureModel):
+    """Extension model: fail a fixed *fraction* of nodes chosen by an external ranking.
+
+    The ranking (e.g. descending overlay in-degree) is supplied at
+    construction; the top ``fraction`` of ranked nodes are removed.  Used by
+    the ablation experiments to contrast random and targeted failures.
+    """
+
+    fraction: float
+    ranking: Sequence[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fraction", check_failure_probability(self.fraction))
+        if len(self.ranking) == 0:
+            raise InvalidParameterError("ranking must not be empty")
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        n_nodes = check_node_count(n_nodes)
+        if len(self.ranking) != n_nodes:
+            raise InvalidParameterError(
+                f"ranking has {len(self.ranking)} entries but the overlay has {n_nodes} nodes"
+            )
+        mask = np.ones(n_nodes, dtype=bool)
+        to_fail = int(round(self.fraction * n_nodes))
+        for identifier in list(self.ranking)[:to_fail]:
+            if identifier < 0 or identifier >= n_nodes:
+                raise InvalidParameterError(f"ranking contains invalid identifier {identifier}")
+            mask[identifier] = False
+        return mask
+
+    @property
+    def description(self) -> str:
+        return f"targeted failure of the top {self.fraction:.0%} ranked nodes"
+
+
+@dataclass(frozen=True)
+class RegionalFailure(FailureModel):
+    """Extension model: fail a contiguous identifier region (correlated outage).
+
+    A region of ``fraction * N`` consecutive identifiers (wrapping around the
+    ring) starting at a random offset is removed.  This stresses ring-based
+    geometries far more than the uniform model and is used only by extension
+    experiments.
+    """
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fraction", check_failure_probability(self.fraction))
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        n_nodes = check_node_count(n_nodes)
+        mask = np.ones(n_nodes, dtype=bool)
+        region = int(round(self.fraction * n_nodes))
+        if region == 0:
+            return mask
+        start = int(rng.integers(0, n_nodes))
+        indices = (start + np.arange(region)) % n_nodes
+        mask[indices] = False
+        return mask
+
+    @property
+    def description(self) -> str:
+        return f"regional failure of a contiguous {self.fraction:.0%} of the identifier ring"

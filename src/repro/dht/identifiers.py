@@ -1,0 +1,213 @@
+"""Identifier-space substrate shared by all DHT overlay simulators.
+
+The paper assumes every DHT fully populates a ``d``-bit identifier space
+(``N = 2^d`` nodes, one per identifier).  Identifiers are plain Python
+integers in ``[0, 2^d)``; this module supplies the distance functions and
+bit manipulations that the five routing geometries are built from:
+
+* **Hamming distance** — hypercube (CAN) routing.
+* **XOR distance** — Kademlia routing.
+* **Clockwise ring distance** — Chord and Symphony routing.
+* **Prefix / highest-differing-bit utilities** — Plaxton-tree and Kademlia
+  routing-table construction.
+
+Bit-index convention: bit ``1`` is the most significant (leftmost) bit of a
+``d``-bit identifier and bit ``d`` is the least significant, matching the
+paper's "correcting bits from left to right".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import check_identifier_length
+
+__all__ = [
+    "IdentifierSpace",
+    "hamming_distance",
+    "xor_distance",
+    "ring_distance",
+    "absolute_ring_distance",
+    "common_prefix_length",
+    "highest_differing_bit",
+    "flip_bit",
+    "bit_at",
+    "phase_of_distance",
+]
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions in which identifiers ``a`` and ``b`` differ."""
+    return int(bin(a ^ b).count("1"))
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Kademlia's XOR metric: the numeric value of ``a XOR b``."""
+    return a ^ b
+
+
+def ring_distance(a: int, b: int, size: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on a ring of ``size`` identifiers.
+
+    This is the distance a Chord/Symphony message must cover when travelling
+    in the direction of increasing identifiers (mod ``size``).
+    """
+    if size <= 0:
+        raise InvalidParameterError(f"ring size must be positive, got {size}")
+    return (b - a) % size
+
+
+def absolute_ring_distance(a: int, b: int, size: int) -> int:
+    """Shortest (bidirectional) distance between ``a`` and ``b`` on a ring."""
+    clockwise = ring_distance(a, b, size)
+    return min(clockwise, size - clockwise)
+
+
+def bit_at(identifier: int, position: int, d: int) -> int:
+    """Value (0 or 1) of bit ``position`` of a ``d``-bit identifier.
+
+    ``position`` is 1-based from the most significant bit, matching the
+    paper's "the *i*-th neighbour ... differs on the *i*-th bit".
+    """
+    d = check_identifier_length(d)
+    if position < 1 or position > d:
+        raise InvalidParameterError(f"bit position {position} outside 1..{d}")
+    return (identifier >> (d - position)) & 1
+
+
+def flip_bit(identifier: int, position: int, d: int) -> int:
+    """Return ``identifier`` with bit ``position`` (1-based from MSB) flipped."""
+    d = check_identifier_length(d)
+    if position < 1 or position > d:
+        raise InvalidParameterError(f"bit position {position} outside 1..{d}")
+    return identifier ^ (1 << (d - position))
+
+
+def common_prefix_length(a: int, b: int, d: int) -> int:
+    """Length of the shared most-significant-bit prefix of two ``d``-bit identifiers."""
+    d = check_identifier_length(d)
+    difference = a ^ b
+    if difference == 0:
+        return d
+    return d - difference.bit_length()
+
+
+def highest_differing_bit(a: int, b: int, d: int) -> int:
+    """1-based index (from the MSB) of the highest-order bit where ``a`` and ``b`` differ.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` when ``a == b``.
+    """
+    d = check_identifier_length(d)
+    difference = a ^ b
+    if difference == 0:
+        raise InvalidParameterError("identifiers are equal; there is no differing bit")
+    return d - difference.bit_length() + 1
+
+
+def phase_of_distance(distance: int) -> int:
+    """Routing phase of a positive distance, per the paper's definition.
+
+    The routing process "has reached phase *j* if the ... distance from the
+    current message holder to the target is between ``2^j`` and ``2^(j+1)``",
+    i.e. the phase is ``floor(log2(distance))``.
+    """
+    if distance <= 0:
+        raise InvalidParameterError(f"distance must be positive, got {distance}")
+    return int(distance).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class IdentifierSpace:
+    """A fully populated ``d``-bit identifier space (``N = 2^d`` identifiers).
+
+    Provides validation, formatting and sampling helpers used by overlay
+    builders and the Monte-Carlo simulator.
+    """
+
+    d: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "d", check_identifier_length(self.d))
+
+    @property
+    def size(self) -> int:
+        """Number of identifiers, ``N = 2^d``."""
+        return 1 << self.d
+
+    def contains(self, identifier: int) -> bool:
+        """Whether ``identifier`` is a valid identifier of this space."""
+        return isinstance(identifier, (int, np.integer)) and 0 <= int(identifier) < self.size
+
+    def validate(self, identifier: int) -> int:
+        """Validate and return ``identifier`` as a plain int.
+
+        Raises :class:`~repro.exceptions.InvalidParameterError` otherwise.
+        """
+        if not self.contains(identifier):
+            raise InvalidParameterError(
+                f"identifier {identifier!r} is not a valid {self.d}-bit identifier"
+            )
+        return int(identifier)
+
+    def to_bits(self, identifier: int) -> str:
+        """Zero-padded binary string of ``identifier`` (MSB first)."""
+        identifier = self.validate(identifier)
+        return format(identifier, f"0{self.d}b")
+
+    def from_bits(self, bits: str) -> int:
+        """Parse a binary string (MSB first) into an identifier of this space."""
+        if len(bits) != self.d or any(c not in "01" for c in bits):
+            raise InvalidParameterError(
+                f"{bits!r} is not a valid {self.d}-bit binary string"
+            )
+        return int(bits, 2)
+
+    def identifiers(self) -> Iterator[int]:
+        """Iterate over every identifier of the space in increasing order."""
+        return iter(range(self.size))
+
+    def sample(self, rng: np.random.Generator, count: int = 1, *, exclude: Sequence[int] = ()) -> List[int]:
+        """Sample ``count`` identifiers uniformly at random, excluding ``exclude``.
+
+        Sampling is without replacement with respect to the exclusion list
+        but *with* replacement among the returned identifiers (the Monte
+        Carlo simulator samples source/destination pairs independently).
+        """
+        if count < 0:
+            raise InvalidParameterError(f"count must be non-negative, got {count}")
+        excluded = {self.validate(e) for e in exclude}
+        if len(excluded) >= self.size:
+            raise InvalidParameterError("exclusion list covers the entire identifier space")
+        results: List[int] = []
+        while len(results) < count:
+            candidate = int(rng.integers(0, self.size))
+            if candidate not in excluded:
+                results.append(candidate)
+        return results
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Clockwise ring distance from ``a`` to ``b`` within this space."""
+        return ring_distance(self.validate(a), self.validate(b), self.size)
+
+    def xor_distance(self, a: int, b: int) -> int:
+        """XOR distance between two identifiers of this space."""
+        return xor_distance(self.validate(a), self.validate(b))
+
+    def hamming_distance(self, a: int, b: int) -> int:
+        """Hamming distance between two identifiers of this space."""
+        return hamming_distance(self.validate(a), self.validate(b))
+
+    def common_prefix_length(self, a: int, b: int) -> int:
+        """Shared MSB-prefix length of two identifiers of this space."""
+        return common_prefix_length(self.validate(a), self.validate(b), self.d)
+
+    def highest_differing_bit(self, a: int, b: int) -> int:
+        """Highest-order differing bit (1-based from MSB) of two identifiers."""
+        return highest_differing_bit(self.validate(a), self.validate(b), self.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IdentifierSpace(d={self.d}, size={self.size})"

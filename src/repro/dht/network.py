@@ -1,0 +1,187 @@
+"""Overlay base class shared by the five DHT simulators.
+
+An :class:`Overlay` bundles a fully populated identifier space with the
+static routing tables of every node and knows how to route a message from a
+source to a destination given a survival mask (see
+:mod:`repro.dht.failures`).  Concrete overlays — Plaxton tree, CAN
+hypercube, Kademlia, Chord and Symphony — live in their own modules and
+implement two methods: :meth:`Overlay.neighbors` and :meth:`Overlay.route`.
+
+Routing tables are *static*: they are built once for the pristine overlay
+and are not repaired after failures, which is exactly the paper's static
+resilience model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import RoutingError, TopologyError
+from ..validation import check_identifier_length
+from .identifiers import IdentifierSpace
+from .routing import RouteResult
+
+__all__ = ["Overlay", "make_rng"]
+
+
+def make_rng(rng: Optional[np.random.Generator] = None, seed: Optional[int] = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from either an existing generator or a seed.
+
+    All overlay builders and simulators accept both so experiments can share
+    one generator while tests pin exact seeds.
+    """
+    if rng is not None and seed is not None:
+        raise TopologyError("pass either an rng or a seed, not both")
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+class Overlay(abc.ABC):
+    """Base class for a static DHT overlay over a fully populated ``d``-bit space.
+
+    Subclasses must define the class attributes ``geometry_name`` (the
+    paper's geometry label, e.g. ``"hypercube"``) and ``system_name`` (the
+    representative deployed system, e.g. ``"CAN"``), and implement
+    :meth:`neighbors` and :meth:`route`.
+    """
+
+    #: Paper geometry label ("tree", "hypercube", "xor", "ring", "smallworld").
+    geometry_name: str = ""
+    #: Representative system from the paper ("Plaxton", "CAN", "Kademlia", "Chord", "Symphony").
+    system_name: str = ""
+
+    def __init__(self, space: IdentifierSpace) -> None:
+        if not self.geometry_name or not self.system_name:
+            raise TopologyError(
+                f"{type(self).__name__} must define geometry_name and system_name"
+            )
+        self._space = space
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def space(self) -> IdentifierSpace:
+        """The identifier space the overlay is built over."""
+        return self._space
+
+    @property
+    def d(self) -> int:
+        """Identifier length in bits."""
+        return self._space.d
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes, ``N = 2^d`` (fully populated space)."""
+        return self._space.size
+
+    @abc.abstractmethod
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Outgoing routing-table entries of ``node`` in the pristine overlay."""
+
+    @abc.abstractmethod
+    def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:
+        """Route a message from ``source`` to ``destination`` under the survival mask ``alive``.
+
+        ``alive`` is a boolean array of length ``n_nodes``; entry ``i`` is
+        ``True`` when node ``i`` survived.  Both end-points are required to
+        be alive (routability is defined over surviving pairs).  The method
+        never raises for ordinary routing failures — those are reported in
+        the returned :class:`~repro.dht.routing.RouteResult`.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def hop_limit(self) -> int:
+        """Defensive per-message hop budget.
+
+        All five geometries deliver within ``O(d)`` or ``O(d^2)`` hops; the
+        budget is generous enough never to bite for correct implementations
+        while still terminating a buggy routing loop.
+        """
+        return max(16, 4 * self.d * self.d)
+
+    def _check_route_arguments(self, source: int, destination: int, alive: np.ndarray) -> np.ndarray:
+        """Validate routing end-points and the survival mask; returns the mask as bool array."""
+        source = self._space.validate(source)
+        destination = self._space.validate(destination)
+        if source == destination:
+            raise RoutingError("source and destination must differ")
+        alive = np.asarray(alive)
+        if alive.dtype != np.bool_:
+            alive = alive.astype(bool)
+        if alive.shape != (self.n_nodes,):
+            raise RoutingError(
+                f"survival mask has shape {alive.shape}, expected ({self.n_nodes},)"
+            )
+        if not alive[source] or not alive[destination]:
+            raise RoutingError(
+                "routability is defined over surviving pairs: both end-points must be alive"
+            )
+        return alive
+
+    def validate_tables(self) -> None:
+        """Check every routing-table entry refers to a valid identifier.
+
+        Raises :class:`~repro.exceptions.TopologyError` on the first
+        malformed entry.  Intended for tests and for sanity-checking custom
+        overlays.
+        """
+        for node in self._space.identifiers():
+            for neighbor in self.neighbors(node):
+                if not self._space.contains(neighbor):
+                    raise TopologyError(
+                        f"node {node} has a routing-table entry {neighbor!r} outside the identifier space"
+                    )
+                if neighbor == node:
+                    raise TopologyError(f"node {node} lists itself as a neighbour")
+
+    def degree_statistics(self) -> Dict[str, float]:
+        """Out-degree statistics of the pristine overlay (min / mean / max)."""
+        degrees = np.array([len(self.neighbors(node)) for node in self._space.identifiers()])
+        return {
+            "min": float(degrees.min()),
+            "mean": float(degrees.mean()),
+            "max": float(degrees.max()),
+        }
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export the pristine overlay as a directed :class:`networkx.DiGraph`.
+
+        Used by the percolation substrate for connected-component analysis
+        and by tests that verify structural properties of the overlays.
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._space.identifiers())
+        for node in self._space.identifiers():
+            for neighbor in self.neighbors(node):
+                graph.add_edge(node, neighbor)
+        return graph
+
+    def surviving_subgraph(self, alive: np.ndarray) -> nx.DiGraph:
+        """Export the overlay restricted to surviving nodes as a directed graph."""
+        alive = np.asarray(alive, dtype=bool)
+        if alive.shape != (self.n_nodes,):
+            raise TopologyError(
+                f"survival mask has shape {alive.shape}, expected ({self.n_nodes},)"
+            )
+        graph = nx.DiGraph()
+        survivors = [int(i) for i in np.flatnonzero(alive)]
+        graph.add_nodes_from(survivors)
+        for node in survivors:
+            for neighbor in self.neighbors(node):
+                if alive[neighbor]:
+                    graph.add_edge(node, neighbor)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(d={self.d}, n_nodes={self.n_nodes}, "
+            f"geometry={self.geometry_name!r}, system={self.system_name!r})"
+        )

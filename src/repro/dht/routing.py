@@ -1,0 +1,145 @@
+"""Routing-attempt results and shared routing bookkeeping for the DHT simulators.
+
+Every overlay's ``route`` method returns a :class:`RouteResult` describing a
+single routing attempt under a static failure pattern (the paper's static
+resilience model): which nodes the message visited, whether it reached the
+destination, and — if not — why it was dropped.
+
+The paper's model forbids back-tracking ("when a node cannot forward a
+message further, the node is not allowed to return the message back"), so a
+routing attempt ends the moment the current holder has no alive neighbour
+that makes progress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..exceptions import RoutingError
+
+__all__ = ["FailureReason", "RouteResult", "RouteTrace"]
+
+
+class FailureReason(enum.Enum):
+    """Why a routing attempt failed (``NONE`` for successful attempts)."""
+
+    NONE = "none"
+    #: The current message holder had no alive neighbour making progress.
+    DEAD_END = "dead-end"
+    #: The routing rule requires one specific neighbour and that neighbour failed
+    #: (tree routing, where exactly one neighbour can correct the leftmost bit).
+    REQUIRED_NEIGHBOR_FAILED = "required-neighbor-failed"
+    #: The attempt exceeded the overlay's hop budget (defensive guard against
+    #: cycles; should not occur for the geometries in this library).
+    HOP_LIMIT_EXCEEDED = "hop-limit-exceeded"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one message from ``source`` to ``destination``.
+
+    Attributes
+    ----------
+    source, destination:
+        End-point identifiers.  Both are assumed alive (routability is
+        defined over pairs of *surviving* nodes).
+    succeeded:
+        ``True`` when the message reached ``destination``.
+    path:
+        Sequence of identifiers visited, starting with ``source``; when the
+        attempt succeeded the last element is ``destination``.
+    failure_reason:
+        Why the attempt failed (``FailureReason.NONE`` on success).
+    """
+
+    source: int
+    destination: int
+    succeeded: bool
+    path: Tuple[int, ...]
+    failure_reason: FailureReason = FailureReason.NONE
+
+    def __post_init__(self) -> None:
+        if self.succeeded and self.failure_reason is not FailureReason.NONE:
+            raise RoutingError("a successful route cannot carry a failure reason")
+        if not self.succeeded and self.failure_reason is FailureReason.NONE:
+            raise RoutingError("a failed route must carry a failure reason")
+        if not self.path or self.path[0] != self.source:
+            raise RoutingError("route path must start at the source")
+        if self.succeeded and self.path[-1] != self.destination:
+            raise RoutingError("a successful route path must end at the destination")
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay hops taken (``len(path) - 1``)."""
+        return len(self.path) - 1
+
+    @property
+    def reached_identifier(self) -> int:
+        """Identifier of the node holding the message when routing stopped."""
+        return self.path[-1]
+
+
+class RouteTrace:
+    """Mutable helper used by overlay ``route`` implementations to build a result.
+
+    Keeps the visited path, enforces the hop budget and produces an immutable
+    :class:`RouteResult` at the end.  Overlays append one identifier per
+    forwarding step via :meth:`advance`.
+    """
+
+    def __init__(self, source: int, destination: int, *, hop_limit: int) -> None:
+        if hop_limit <= 0:
+            raise RoutingError(f"hop limit must be positive, got {hop_limit}")
+        self._source = int(source)
+        self._destination = int(destination)
+        self._hop_limit = int(hop_limit)
+        self._path: List[int] = [int(source)]
+
+    @property
+    def current(self) -> int:
+        """Identifier currently holding the message."""
+        return self._path[-1]
+
+    @property
+    def path(self) -> Sequence[int]:
+        """Read-only view of the identifiers visited so far."""
+        return tuple(self._path)
+
+    @property
+    def hops_taken(self) -> int:
+        """Hops taken so far."""
+        return len(self._path) - 1
+
+    @property
+    def hop_budget_exhausted(self) -> bool:
+        """Whether another hop would exceed the hop limit."""
+        return self.hops_taken >= self._hop_limit
+
+    def advance(self, next_identifier: int) -> None:
+        """Record a forwarding step to ``next_identifier``."""
+        if self.hop_budget_exhausted:
+            raise RoutingError("hop budget exhausted; cannot advance further")
+        self._path.append(int(next_identifier))
+
+    def success(self) -> RouteResult:
+        """Finish the trace as a successful delivery."""
+        return RouteResult(
+            source=self._source,
+            destination=self._destination,
+            succeeded=True,
+            path=tuple(self._path),
+        )
+
+    def failure(self, reason: FailureReason) -> RouteResult:
+        """Finish the trace as a failed delivery for ``reason``."""
+        if reason is FailureReason.NONE:
+            raise RoutingError("failure reason must not be NONE")
+        return RouteResult(
+            source=self._source,
+            destination=self._destination,
+            succeeded=False,
+            path=tuple(self._path),
+            failure_reason=reason,
+        )

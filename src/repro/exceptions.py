@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are raised eagerly on invalid input (bad
+probabilities, malformed identifiers, unknown geometries) rather than being
+silently coerced.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A numeric parameter is outside of its valid domain.
+
+    Examples: a failure probability outside ``[0, 1]``, a non-positive
+    identifier length, or a hop count larger than the identifier length.
+    """
+
+
+class UnknownGeometryError(ReproError, KeyError):
+    """A routing geometry name was not found in the registry."""
+
+
+class RoutingError(ReproError):
+    """A DHT simulator was asked to route under impossible conditions.
+
+    This is *not* raised for ordinary routing failures caused by failed
+    nodes (those are reported through
+    :class:`repro.dht.routing.RouteResult`); it indicates misuse such as
+    routing from or to a node that does not exist in the overlay.
+    """
+
+
+class TopologyError(ReproError):
+    """An overlay topology is malformed or inconsistent.
+
+    Raised, for instance, when a routing table references an identifier
+    outside the identifier space or when an overlay is built with
+    incompatible parameters.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical convergence diagnostic could not reach a verdict."""

@@ -1,0 +1,41 @@
+"""Experiment harnesses: one module per paper figure/table plus extensions.
+
+See DESIGN.md's per-experiment index for the mapping between experiment ids,
+paper artifacts and benchmark targets.  All experiments run in a "fast" mode
+(scaled-down sweeps, small simulated overlays) by default; pass
+``ExperimentConfig(fast=False)`` for paper-scale runs (simulation at
+``N = 2^16``, full sweep grids).
+"""
+
+from .base import Experiment, ExperimentConfig, ExperimentResult
+from .registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+from .fig123_hypercube_example import HypercubeWorkedExample
+from .fig6a_static_resilience import Fig6aStaticResilience
+from .fig6b_ring import Fig6bRingBound
+from .fig7a_asymptotic import Fig7aAsymptoticLimit
+from .fig7b_scaling import Fig7bScaling
+from .scalability_table import ScalabilityClassification
+from .symphony_sensitivity import SymphonySensitivity
+from .xor_vs_tree_ablation import XorVersusTreeAblation
+from .percolation_vs_routability import PercolationVersusRoutability
+from .churn_applicability import ChurnApplicability
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "HypercubeWorkedExample",
+    "Fig6aStaticResilience",
+    "Fig6bRingBound",
+    "Fig7aAsymptoticLimit",
+    "Fig7bScaling",
+    "ScalabilityClassification",
+    "SymphonySensitivity",
+    "XorVersusTreeAblation",
+    "PercolationVersusRoutability",
+    "ChurnApplicability",
+]

@@ -1,0 +1,138 @@
+"""FIG1-3 — the paper's worked hypercube example (Figures 1–3, Section 4.2).
+
+The paper introduces the Reachable Component Method on an 8-node (``d = 3``)
+hypercube: node ``011`` routes to ``100`` (Hamming distance 3), the table in
+Figure 3 lists ``n(h)`` and the per-hop success probabilities, and
+``p(3, q) = (1 - q^3)(1 - q^2)(1 - q)``.
+
+This experiment reproduces that table and then validates the whole chain of
+reasoning four independent ways at each probed failure probability:
+
+1. the closed-form routability (Eq. 3/4),
+2. the same quantity computed through the explicit absorbing Markov chain,
+3. an **exact enumeration** over all ``2^8`` survival patterns of the
+   8-node overlay simulator (the ground truth of Definition 1), and
+4. a Monte-Carlo estimate from the overlay simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.geometry import get_geometry
+from ..dht.can import HypercubeOverlay
+from ..markov.builders import hypercube_routing_chain, routing_success_probability
+from ..sim.static_resilience import measure_routability
+from .base import Experiment, ExperimentConfig, ExperimentResult
+
+__all__ = ["HypercubeWorkedExample"]
+
+#: Failure probabilities probed by the validation table.
+PROBE_FAILURE_PROBABILITIES = (0.1, 0.3, 0.5)
+#: The example's identifier length (8 nodes, as in Figure 1).
+EXAMPLE_D = 3
+
+
+def exact_definition_routability(overlay: HypercubeOverlay, q: float) -> float:
+    """Definition 1 evaluated exactly by enumerating every survival pattern.
+
+    For the 8-node example this is 2^8 = 256 patterns; the expected number
+    of routable ordered pairs and the expected number of ordered survivor
+    pairs are both computed exactly and their ratio returned.
+    """
+    n = overlay.n_nodes
+    expected_routable = 0.0
+    expected_pairs = 0.0
+    for pattern in itertools.product((True, False), repeat=n):
+        alive = np.array(pattern, dtype=bool)
+        survivors = int(alive.sum())
+        weight = (1.0 - q) ** survivors * q ** (n - survivors)
+        if survivors >= 2:
+            expected_pairs += weight * survivors * (survivors - 1)
+            routable = 0
+            alive_ids = [i for i in range(n) if alive[i]]
+            for source in alive_ids:
+                for destination in alive_ids:
+                    if source == destination:
+                        continue
+                    if overlay.route(source, destination, alive).succeeded:
+                        routable += 1
+            expected_routable += weight * routable
+    if expected_pairs == 0.0:
+        return 0.0
+    return expected_routable / expected_pairs
+
+
+class HypercubeWorkedExample(Experiment):
+    """Reproduce and validate the Figures 1–3 worked example."""
+
+    experiment_id = "FIG1-3"
+    title = "Worked hypercube example: RCM on an 8-node CAN"
+    paper_reference = "Figures 1-3 and Section 4.2"
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        geometry = get_geometry("hypercube")
+        overlay = HypercubeOverlay.build(EXAMPLE_D)
+        workload = config.resolved_workload()
+
+        # Figure 3's per-hop table at a representative failure probability.
+        reference_q = 0.3
+        distance_table: List[Dict[str, object]] = geometry.worked_example_table(EXAMPLE_D, reference_q)
+
+        # The validation table: four independent computations of routability.
+        validation_rows: List[Dict[str, object]] = []
+        for q in PROBE_FAILURE_PROBABILITIES:
+            chain = hypercube_routing_chain(EXAMPLE_D, q)
+            chain_p3 = routing_success_probability(chain, EXAMPLE_D)
+            # At 8 nodes a single failure pattern dominates the estimate, so average
+            # over many independent patterns rather than many pairs per pattern.
+            simulated = measure_routability(
+                overlay,
+                q,
+                pairs=min(workload.pairs, 30),
+                trials=max(workload.trials, 120),
+                seed=workload.derived_seed(f"fig123-{q}"),
+            )
+            n_nodes = 1 << EXAMPLE_D
+            expected_component = geometry.expected_reachable_component(EXAMPLE_D, q)
+            validation_rows.append(
+                {
+                    "q": q,
+                    "p3_closed_form": geometry.path_success_probability(EXAMPLE_D, q, EXAMPLE_D),
+                    "p3_markov_chain": chain_p3,
+                    "routability_rcm": geometry.routability(q, d=EXAMPLE_D),
+                    # Eq. 1 with the exact pair-count denominator (1-q)(N-1); the paper's
+                    # (1-q)N - 1 form differs only at very small populations like this one.
+                    "routability_exact_denominator": min(
+                        1.0, expected_component / ((1.0 - q) * (n_nodes - 1))
+                    ),
+                    "routability_exact_definition": exact_definition_routability(overlay, q),
+                    "routability_simulated": simulated.routability,
+                }
+            )
+
+        return self._result(
+            parameters={
+                "d": EXAMPLE_D,
+                "n_nodes": 1 << EXAMPLE_D,
+                "reference_q": reference_q,
+                "probe_qs": PROBE_FAILURE_PROBABILITIES,
+                "pairs": min(workload.pairs, 30),
+                "trials": max(workload.trials, 120),
+            },
+            tables={
+                "figure3_distance_table": distance_table,
+                "routability_validation": validation_rows,
+            },
+            notes=(
+                "p(3, q) = (1 - q^3)(1 - q^2)(1 - q) exactly as derived in Section 4.2.",
+                "The RCM routability uses the paper's (1-q)N - 1 pair-count approximation, which is "
+                "loose at this toy size (8 nodes); with the exact (1-q)(N-1) denominator the RCM value "
+                "matches the full-enumeration Definition-1 routability almost exactly, confirming the "
+                "method itself.",
+            ),
+        )

@@ -1,0 +1,75 @@
+"""FIG7A — failed paths vs failure probability in the asymptotic limit (Figure 7(a)).
+
+The paper evaluates every geometry's analytical expression at ``N = 2^100``
+(Symphony with ``kn = ks = 1``).  The scalable geometries' curves barely
+move compared to ``N = 2^16``; the unscalable ones (tree, Symphony) collapse
+to a step function — essentially 100% failed paths for any positive failure
+probability.  This experiment regenerates both the asymptotic table and the
+comparison against ``N = 2^16`` that supports the "curves are very close to
+the N = 2^16 case" remark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.geometries import PAPER_GEOMETRIES
+from ..core.routability import failed_path_curve
+from ..workloads.generators import paper_failure_probabilities
+from .base import Experiment, ExperimentConfig, ExperimentResult
+
+__all__ = ["Fig7aAsymptoticLimit"]
+
+#: The paper evaluates the asymptotic curves at N = 2^100.
+ASYMPTOTIC_D = 100
+#: Reference size for the "close to N = 2^16" comparison.
+REFERENCE_D = 16
+
+
+class Fig7aAsymptoticLimit(Experiment):
+    """Reproduce Figure 7(a): failed paths vs q for all five geometries at N = 2^100."""
+
+    experiment_id = "FIG7A"
+    title = "Failed paths vs failure probability in the asymptotic limit (N = 2^100)"
+    paper_reference = "Figure 7(a)"
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        failure_probabilities = paper_failure_probabilities(fast=config.fast)
+
+        asymptotic_rows: List[Dict[str, object]] = [dict(q=q) for q in failure_probabilities]
+        drift_rows: List[Dict[str, object]] = []
+        for geometry in PAPER_GEOMETRIES:
+            asymptotic = failed_path_curve(geometry, failure_probabilities, d=ASYMPTOTIC_D)
+            reference = failed_path_curve(geometry, failure_probabilities, d=REFERENCE_D)
+            for row, value in zip(asymptotic_rows, asymptotic.y_values):
+                row[geometry] = value
+            drift = max(
+                abs(a - r) for a, r in zip(asymptotic.y_values, reference.y_values)
+            )
+            drift_rows.append(
+                {
+                    "geometry": geometry,
+                    "max_abs_change_vs_2^16": drift,
+                    "classified_scalable": geometry not in ("tree", "smallworld"),
+                }
+            )
+
+        return self._result(
+            parameters={
+                "asymptotic_d": ASYMPTOTIC_D,
+                "reference_d": REFERENCE_D,
+                "symphony_near_neighbors": 1,
+                "symphony_shortcuts": 1,
+                "fast": config.fast,
+            },
+            tables={
+                "fig7a_failed_path_percent": asymptotic_rows,
+                "drift_vs_reference_size": drift_rows,
+            },
+            notes=(
+                "Tree and Symphony approach a step function (≈100% failed paths for any q > 0) at "
+                "N = 2^100, while hypercube, XOR and ring remain close to their N = 2^16 curves — the "
+                "scalable/unscalable split of Figure 7(a).",
+            ),
+        )

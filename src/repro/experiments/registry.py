@@ -1,0 +1,63 @@
+"""Registry of all experiments, keyed by the DESIGN.md experiment identifiers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from ..exceptions import ExperimentError
+from .base import Experiment, ExperimentConfig, ExperimentResult
+from .fig123_hypercube_example import HypercubeWorkedExample
+from .fig6a_static_resilience import Fig6aStaticResilience
+from .fig6b_ring import Fig6bRingBound
+from .fig7a_asymptotic import Fig7aAsymptoticLimit
+from .fig7b_scaling import Fig7bScaling
+from .scalability_table import ScalabilityClassification
+from .symphony_sensitivity import SymphonySensitivity
+from .xor_vs_tree_ablation import XorVersusTreeAblation
+from .percolation_vs_routability import PercolationVersusRoutability
+from .churn_applicability import ChurnApplicability
+
+__all__ = ["EXPERIMENTS", "list_experiments", "get_experiment", "run_experiment"]
+
+#: Every experiment class, keyed by its experiment_id.
+EXPERIMENTS: Dict[str, Type[Experiment]] = {
+    cls.experiment_id: cls
+    for cls in (
+        HypercubeWorkedExample,
+        Fig6aStaticResilience,
+        Fig6bRingBound,
+        Fig7aAsymptoticLimit,
+        Fig7bScaling,
+        ScalabilityClassification,
+        SymphonySensitivity,
+        XorVersusTreeAblation,
+        PercolationVersusRoutability,
+        ChurnApplicability,
+    )
+}
+
+
+def list_experiments() -> Tuple[Tuple[str, str, str], ...]:
+    """``(experiment_id, title, paper_reference)`` for every registered experiment."""
+    return tuple(
+        (cls.experiment_id, cls.title, cls.paper_reference)
+        for cls in EXPERIMENTS.values()
+    )
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Instantiate the experiment registered under ``experiment_id`` (case-insensitive)."""
+    key = str(experiment_id).upper()
+    for registered_id, cls in EXPERIMENTS.items():
+        if registered_id.upper() == key:
+            return cls()
+    raise ExperimentError(
+        f"unknown experiment {experiment_id!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+    )
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentResult:
+    """Run one experiment by id with the given configuration."""
+    return get_experiment(experiment_id).run(config)

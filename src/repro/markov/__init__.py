@@ -1,0 +1,37 @@
+"""Absorbing Markov-chain engine and the paper's routing-chain constructions.
+
+The analytical core (:mod:`repro.core`) uses closed-form expressions for the
+per-phase failure probabilities ``Q(m)``; this subpackage provides the
+explicit chains those expressions were derived from, plus a generic
+absorption solver, so the two can be checked against each other.
+"""
+
+from .chain import AbsorptionResult, MarkovChain, State
+from .builders import (
+    FAILURE_STATE,
+    hypercube_routing_chain,
+    phase_state,
+    phase_success_probability,
+    ring_routing_chain,
+    routing_success_probability,
+    suboptimal_state,
+    symphony_routing_chain,
+    tree_routing_chain,
+    xor_routing_chain,
+)
+
+__all__ = [
+    "AbsorptionResult",
+    "MarkovChain",
+    "State",
+    "FAILURE_STATE",
+    "phase_state",
+    "suboptimal_state",
+    "tree_routing_chain",
+    "hypercube_routing_chain",
+    "xor_routing_chain",
+    "ring_routing_chain",
+    "symphony_routing_chain",
+    "phase_success_probability",
+    "routing_success_probability",
+]

@@ -1,0 +1,159 @@
+"""Connected-component and reachable-component analysis of failed overlays.
+
+The paper distinguishes two notions (Section 4.1):
+
+* the **connected component** of a node — the nodes it could reach if
+  messages were allowed to follow arbitrary overlay paths, and
+* the **reachable component** of a node — the nodes it can actually route
+  to under the DHT's routing algorithm (no back-tracking, greedy rules).
+
+The reachable component is always a subset of the connected component; the
+gap between the two is what makes routability a different quantity from
+plain percolation connectivity, and this module lets experiments and tests
+measure both on the same failed overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+from ..dht.network import Overlay
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ComponentSummary",
+    "reachable_component",
+    "connected_component",
+    "component_size_distribution",
+    "largest_component_fraction",
+    "empirical_routability",
+]
+
+
+@dataclass(frozen=True)
+class ComponentSummary:
+    """Sizes of the graph-theoretic components of a failed overlay.
+
+    Attributes
+    ----------
+    survivor_count:
+        Number of surviving nodes.
+    largest_component:
+        Size of the largest weakly connected component among survivors.
+    component_sizes:
+        Sorted (descending) sizes of all weakly connected components.
+    """
+
+    survivor_count: int
+    largest_component: int
+    component_sizes: tuple
+
+    @property
+    def largest_fraction(self) -> float:
+        """Largest component size as a fraction of surviving nodes."""
+        if self.survivor_count == 0:
+            return 0.0
+        return self.largest_component / self.survivor_count
+
+
+def _validated_mask(overlay: Overlay, alive: np.ndarray) -> np.ndarray:
+    alive = np.asarray(alive, dtype=bool)
+    if alive.shape != (overlay.n_nodes,):
+        raise InvalidParameterError(
+            f"survival mask has shape {alive.shape}, expected ({overlay.n_nodes},)"
+        )
+    return alive
+
+
+def reachable_component(overlay: Overlay, root: int, alive: np.ndarray) -> FrozenSet[int]:
+    """The set of surviving nodes that ``root`` can route to under the overlay's algorithm.
+
+    This is the paper's "reachable component of node *i*": every surviving
+    destination is attempted with the overlay's actual routing rule under
+    the given survival mask.  The root itself is not included.
+    """
+    alive = _validated_mask(overlay, alive)
+    root = overlay.space.validate(root)
+    if not alive[root]:
+        raise InvalidParameterError(f"root node {root} did not survive")
+    reachable: Set[int] = set()
+    for destination in np.flatnonzero(alive):
+        destination = int(destination)
+        if destination == root:
+            continue
+        if overlay.route(root, destination, alive).succeeded:
+            reachable.add(destination)
+    return frozenset(reachable)
+
+
+def connected_component(overlay: Overlay, root: int, alive: np.ndarray) -> FrozenSet[int]:
+    """The surviving nodes reachable from ``root`` along *any* path of surviving overlay links.
+
+    Computed as graph descendants of ``root`` in the surviving directed
+    overlay graph; the reachable component of the same root is always a
+    subset of this set.
+    """
+    alive = _validated_mask(overlay, alive)
+    root = overlay.space.validate(root)
+    if not alive[root]:
+        raise InvalidParameterError(f"root node {root} did not survive")
+    graph = overlay.surviving_subgraph(alive)
+    descendants = nx.descendants(graph, root)
+    return frozenset(int(v) for v in descendants)
+
+
+def component_size_distribution(overlay: Overlay, alive: np.ndarray) -> ComponentSummary:
+    """Weakly-connected component sizes of the surviving overlay graph."""
+    alive = _validated_mask(overlay, alive)
+    graph = overlay.surviving_subgraph(alive)
+    survivor_count = graph.number_of_nodes()
+    if survivor_count == 0:
+        return ComponentSummary(survivor_count=0, largest_component=0, component_sizes=())
+    sizes = sorted((len(c) for c in nx.weakly_connected_components(graph)), reverse=True)
+    return ComponentSummary(
+        survivor_count=survivor_count,
+        largest_component=sizes[0],
+        component_sizes=tuple(sizes),
+    )
+
+
+def largest_component_fraction(overlay: Overlay, alive: np.ndarray) -> float:
+    """Fraction of surviving nodes inside the largest weakly connected component."""
+    return component_size_distribution(overlay, alive).largest_fraction
+
+
+def empirical_routability(
+    overlay: Overlay,
+    alive: np.ndarray,
+    *,
+    max_roots: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Exhaustive (or root-sampled) routability of a failed overlay.
+
+    Computes the RCM definition directly: the number of routable ordered
+    pairs among survivors divided by the number of ordered survivor pairs.
+    When ``max_roots`` is given, only that many randomly chosen roots are
+    expanded (an unbiased estimate); otherwise every surviving root is used.
+
+    Only intended for small overlays — the experiments use
+    :mod:`repro.sim.static_resilience` for large ones.
+    """
+    alive = _validated_mask(overlay, alive)
+    survivors = [int(v) for v in np.flatnonzero(alive)]
+    if len(survivors) < 2:
+        raise InvalidParameterError("empirical routability needs at least two survivors")
+    roots: List[int] = survivors
+    if max_roots is not None and max_roots < len(survivors):
+        generator = rng if rng is not None else np.random.default_rng()
+        chosen = generator.choice(len(survivors), size=max_roots, replace=False)
+        roots = [survivors[int(i)] for i in chosen]
+    routable_pairs = 0
+    for root in roots:
+        routable_pairs += len(reachable_component(overlay, root, alive))
+    possible_pairs = len(roots) * (len(survivors) - 1)
+    return routable_pairs / possible_pairs

@@ -1,0 +1,140 @@
+"""Percolation-threshold estimation for DHT overlay graphs.
+
+Section 1 of the paper recalls the site-percolation fact that once the
+failure probability exceeds ``1 - p_c`` (with ``p_c`` the percolation
+threshold of the overlay graph), the network fragments into small
+components and routability necessarily collapses — *regardless* of the
+routing algorithm.  The interesting regime for the RCM analysis is
+``0 < q < 1 - p_c``.
+
+This module estimates the critical failure probability of an overlay
+empirically: sweep ``q``, measure the relative size of the largest
+surviving component, and locate where it falls below a giant-component
+criterion.  It also provides the classical mean-field estimate
+``p_c ≈ 1 / (k - 1)`` for a graph with mean degree ``k`` as a cheap
+reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dht.network import Overlay, make_rng
+from ..exceptions import InvalidParameterError
+from ..validation import check_positive_int, check_probability
+from .components import largest_component_fraction
+
+__all__ = [
+    "PercolationEstimate",
+    "giant_component_curve",
+    "estimate_critical_failure_probability",
+    "mean_field_percolation_threshold",
+]
+
+
+@dataclass(frozen=True)
+class PercolationEstimate:
+    """Empirical percolation analysis of an overlay.
+
+    Attributes
+    ----------
+    critical_failure_probability:
+        Estimated ``q_c = 1 - p_c``: the failure probability at which the
+        giant component disappears (``None`` when it never disappears within
+        the swept range).
+    failure_probabilities:
+        The swept failure probabilities.
+    giant_component_fractions:
+        Mean largest-component fraction measured at each swept ``q``.
+    criterion:
+        Giant-component criterion used (largest component must contain at
+        least this fraction of survivors).
+    """
+
+    critical_failure_probability: Optional[float]
+    failure_probabilities: Tuple[float, ...]
+    giant_component_fractions: Tuple[float, ...]
+    criterion: float
+
+
+def mean_field_percolation_threshold(mean_degree: float) -> float:
+    """Mean-field estimate ``p_c ≈ 1 / (k - 1)`` for a graph of mean degree ``k``.
+
+    For the log-degree DHT overlays this gives a very small ``p_c`` (the
+    giant component survives until almost every node has failed), which is
+    why the paper treats ``1 - p_c`` as close to 1 for the four logarithmic
+    geometries.
+    """
+    if mean_degree <= 1.0:
+        raise InvalidParameterError(
+            f"mean degree must exceed 1 for a giant component to exist, got {mean_degree}"
+        )
+    return 1.0 / (mean_degree - 1.0)
+
+
+def giant_component_curve(
+    overlay: Overlay,
+    failure_probabilities: Sequence[float],
+    *,
+    trials: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Measure the mean largest-component fraction for each failure probability.
+
+    Returns ``(qs, fractions)`` where ``fractions[i]`` is averaged over
+    ``trials`` independent failure patterns at ``qs[i]``.
+    """
+    if len(failure_probabilities) == 0:
+        raise InvalidParameterError("failure_probabilities must not be empty")
+    trials = check_positive_int(trials, "trials")
+    generator = make_rng(rng, seed)
+    qs = tuple(check_probability(q, "failure probability") for q in failure_probabilities)
+    fractions = []
+    for q in qs:
+        values = []
+        for _ in range(trials):
+            alive = generator.random(overlay.n_nodes) >= q
+            if int(alive.sum()) == 0:
+                values.append(0.0)
+                continue
+            values.append(largest_component_fraction(overlay, alive))
+        fractions.append(float(np.mean(values)))
+    return qs, tuple(fractions)
+
+
+def estimate_critical_failure_probability(
+    overlay: Overlay,
+    *,
+    failure_probabilities: Optional[Sequence[float]] = None,
+    criterion: float = 0.5,
+    trials: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> PercolationEstimate:
+    """Estimate the failure probability at which the overlay loses its giant component.
+
+    The estimate is the first swept ``q`` whose mean largest-component
+    fraction drops below ``criterion``.  The default sweep covers
+    ``q = 0.05 .. 0.95`` in steps of 0.05.
+    """
+    criterion = check_probability(criterion, "criterion")
+    if failure_probabilities is None:
+        failure_probabilities = [round(0.05 * i, 2) for i in range(1, 20)]
+    qs, fractions = giant_component_curve(
+        overlay, failure_probabilities, trials=trials, rng=rng, seed=seed
+    )
+    critical: Optional[float] = None
+    for q, fraction in zip(qs, fractions):
+        if fraction < criterion:
+            critical = q
+            break
+    return PercolationEstimate(
+        critical_failure_probability=critical,
+        failure_probabilities=qs,
+        giant_component_fractions=fractions,
+        criterion=criterion,
+    )

@@ -1,0 +1,39 @@
+"""Monte-Carlo static-resilience simulation of the DHT overlays.
+
+Reproduces the simulation methodology the paper validates against (Gummadi
+et al., SIGCOMM 2003): freeze routing tables, fail nodes uniformly at
+random, sample surviving pairs and measure the fraction of failed paths.
+"""
+
+from .churn import (
+    ChurnConfig,
+    ChurnSimulationResult,
+    ChurnStepResult,
+    effective_failure_probability,
+    simulate_churn,
+)
+from .sampling import all_survivor_pairs, sample_survivor_pairs
+from .static_resilience import (
+    ResilienceSweepResult,
+    StaticResilienceResult,
+    build_overlay,
+    measure_routability,
+    simulate_geometry,
+    sweep_failure_probabilities,
+)
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnSimulationResult",
+    "ChurnStepResult",
+    "effective_failure_probability",
+    "simulate_churn",
+    "all_survivor_pairs",
+    "sample_survivor_pairs",
+    "ResilienceSweepResult",
+    "StaticResilienceResult",
+    "build_overlay",
+    "measure_routability",
+    "simulate_geometry",
+    "sweep_failure_probabilities",
+]

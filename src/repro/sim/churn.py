@@ -1,0 +1,207 @@
+"""Churn extension: does the static-resilience model predict routability under churn?
+
+The paper analyses a *static* failure model and notes that "the applicability
+of the results derived from this static model to dynamic situations, such as
+churn, is currently under study" (Section 1).  This module implements that
+study as an extension of the reproduction:
+
+* every node alternates between **online** and **offline** states as an
+  independent two-state Markov chain (per-step leave and rejoin
+  probabilities) — the standard discrete-time churn model;
+* routing tables are repaired only at **repair epochs**: between repairs, a
+  routing-table entry is usable only if the referenced node was online at
+  the last repair *and* is still online now (fast failure detection, slow
+  re-establishment — exactly the asymmetry the paper uses to motivate the
+  static model);
+* the **effective failure probability** seen by the static model ``t`` steps
+  after a repair is the probability that a node which was online at the
+  repair is offline now, which for the two-state chain is
+
+      q_eff(t) = (λ / (λ + μ)) · (1 − (1 − λ − μ)^t)
+
+  with λ the per-step leave probability and μ the per-step rejoin
+  probability.
+
+The experiment EXT-CHURN measures routability over time on a simulated
+overlay under this process and compares it against the static RCM prediction
+evaluated at ``q_eff(t)`` — quantifying how far the paper's static results
+carry into dynamic settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dht.metrics import RoutingMetrics, summarize_routes
+from ..dht.network import Overlay, make_rng
+from ..exceptions import InvalidParameterError
+from ..validation import check_positive_int, check_probability
+from .sampling import sample_survivor_pairs
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnStepResult",
+    "ChurnSimulationResult",
+    "effective_failure_probability",
+    "simulate_churn",
+]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the two-state churn process and of the measurement.
+
+    Attributes
+    ----------
+    leave_probability:
+        Per-step probability that an online node goes offline (λ).
+    rejoin_probability:
+        Per-step probability that an offline node comes back online (μ).
+    steps_per_epoch:
+        Number of churn steps simulated after the repair epoch.
+    pairs_per_step:
+        Routing attempts sampled at every step.
+    """
+
+    leave_probability: float = 0.02
+    rejoin_probability: float = 0.05
+    steps_per_epoch: int = 20
+    pairs_per_step: int = 500
+
+    def __post_init__(self) -> None:
+        check_probability(self.leave_probability, "leave_probability")
+        check_probability(self.rejoin_probability, "rejoin_probability")
+        check_positive_int(self.steps_per_epoch, "steps_per_epoch")
+        check_positive_int(self.pairs_per_step, "pairs_per_step")
+        if self.leave_probability == 0.0 and self.rejoin_probability == 0.0:
+            raise InvalidParameterError(
+                "at least one of leave_probability / rejoin_probability must be positive"
+            )
+
+    @property
+    def stationary_offline_fraction(self) -> float:
+        """Long-run fraction of time a node spends offline, λ / (λ + μ)."""
+        total = self.leave_probability + self.rejoin_probability
+        return self.leave_probability / total
+
+
+def effective_failure_probability(config: ChurnConfig, steps_since_repair: int) -> float:
+    """``q_eff(t)``: probability a node online at the repair epoch is offline ``t`` steps later.
+
+    This is the failure probability the static model should be evaluated at
+    to predict routability ``t`` steps into an epoch.
+    """
+    t = int(steps_since_repair)
+    if t < 0:
+        raise InvalidParameterError(f"steps_since_repair must be non-negative, got {t}")
+    if t == 0:
+        return 0.0
+    decay = (1.0 - config.leave_probability - config.rejoin_probability) ** t
+    return config.stationary_offline_fraction * (1.0 - decay)
+
+
+@dataclass(frozen=True)
+class ChurnStepResult:
+    """Measured and predicted routability at one churn step.
+
+    Attributes
+    ----------
+    step:
+        Steps elapsed since the repair epoch (1-based).
+    effective_q:
+        The static-model effective failure probability ``q_eff(step)``.
+    online_fraction:
+        Fraction of all nodes currently online.
+    usable_fraction:
+        Fraction of nodes that were online at the repair epoch and still are
+        (these are the nodes whose routing-table entries remain usable).
+    metrics:
+        Measured routing metrics over the sampled pairs at this step.
+    """
+
+    step: int
+    effective_q: float
+    online_fraction: float
+    usable_fraction: float
+    metrics: RoutingMetrics
+
+    @property
+    def measured_routability(self) -> float:
+        """Fraction of sampled pairs that routed at this step."""
+        return self.metrics.routability
+
+
+@dataclass(frozen=True)
+class ChurnSimulationResult:
+    """Per-step routability of one overlay across one repair epoch under churn."""
+
+    geometry: str
+    d: int
+    config: ChurnConfig
+    steps: Tuple[ChurnStepResult, ...]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows (one per step) for tabular reports."""
+        return [
+            {
+                "step": result.step,
+                "effective_q": result.effective_q,
+                "usable_fraction": result.usable_fraction,
+                "measured_routability": result.measured_routability,
+            }
+            for result in self.steps
+        ]
+
+
+def simulate_churn(
+    overlay: Overlay,
+    config: ChurnConfig,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> ChurnSimulationResult:
+    """Simulate one repair epoch of churn on ``overlay`` and measure routability per step.
+
+    The epoch starts with every node online and the routing tables fresh
+    (a repair has just completed).  At each subsequent step nodes leave and
+    rejoin according to the churn chain; a routing-table entry is usable only
+    if its node was online at the repair *and* is online now, so the usable
+    set shrinks over the epoch exactly as the static model's ``q_eff(t)``
+    predicts.  Source/destination pairs are sampled among usable nodes.
+    """
+    generator = make_rng(rng, seed)
+    n = overlay.n_nodes
+    online = np.ones(n, dtype=bool)  # state at the repair epoch
+    online_at_repair = online.copy()
+    steps: List[ChurnStepResult] = []
+    for step in range(1, config.steps_per_epoch + 1):
+        random_draws = generator.random(n)
+        leaving = online & (random_draws < config.leave_probability)
+        rejoining = (~online) & (random_draws < config.rejoin_probability)
+        online = (online & ~leaving) | rejoining
+        usable = online_at_repair & online
+        usable_fraction = float(usable.mean())
+        metrics = summarize_routes([])
+        if int(usable.sum()) >= 2:
+            pairs = sample_survivor_pairs(usable, config.pairs_per_step, generator)
+            metrics = summarize_routes(
+                overlay.route(source, destination, usable) for source, destination in pairs
+            )
+        steps.append(
+            ChurnStepResult(
+                step=step,
+                effective_q=effective_failure_probability(config, step),
+                online_fraction=float(online.mean()),
+                usable_fraction=usable_fraction,
+                metrics=metrics,
+            )
+        )
+    return ChurnSimulationResult(
+        geometry=overlay.geometry_name,
+        d=overlay.d,
+        config=config,
+        steps=tuple(steps),
+    )

@@ -1,0 +1,67 @@
+"""Workload sampling helpers for the Monte-Carlo static-resilience simulator.
+
+Routability is defined over *ordered pairs of surviving nodes*; these
+helpers sample such pairs uniformly given a survival mask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import check_positive_int
+
+__all__ = ["sample_survivor_pairs", "all_survivor_pairs"]
+
+
+def sample_survivor_pairs(
+    alive: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Sample ``count`` ordered (source, destination) pairs of distinct surviving nodes.
+
+    Sampling is uniform over ordered pairs, with replacement across pairs
+    (the same pair may be drawn twice), matching how simulation studies such
+    as Gummadi et al. estimate the fraction of failed paths.
+
+    Raises
+    ------
+    InvalidParameterError
+        If fewer than two nodes survive — no pairs exist in that case and
+        the caller should treat the trial as degenerate.
+    """
+    count = check_positive_int(count, "count")
+    alive = np.asarray(alive, dtype=bool)
+    survivors = np.flatnonzero(alive)
+    if survivors.size < 2:
+        raise InvalidParameterError(
+            f"cannot sample pairs: only {survivors.size} node(s) survived"
+        )
+    sources = survivors[rng.integers(0, survivors.size, size=count)]
+    destinations = survivors[rng.integers(0, survivors.size, size=count)]
+    pairs: List[Tuple[int, int]] = []
+    for source, destination in zip(sources, destinations):
+        while destination == source:
+            destination = survivors[int(rng.integers(0, survivors.size))]
+        pairs.append((int(source), int(destination)))
+    return pairs
+
+
+def all_survivor_pairs(alive: np.ndarray, *, limit: int = 2_000_000) -> List[Tuple[int, int]]:
+    """Enumerate every ordered pair of distinct surviving nodes.
+
+    Only sensible for small overlays (exhaustive validation tests); the
+    ``limit`` guard protects against accidentally materialising billions of
+    pairs for a 2^16-node overlay.
+    """
+    alive = np.asarray(alive, dtype=bool)
+    survivors = [int(i) for i in np.flatnonzero(alive)]
+    total = len(survivors) * (len(survivors) - 1)
+    if total > limit:
+        raise InvalidParameterError(
+            f"{total} ordered pairs exceed the exhaustive-enumeration limit of {limit}"
+        )
+    return [(s, t) for s in survivors for t in survivors if s != t]

@@ -1,0 +1,273 @@
+"""Monte-Carlo measurement of DHT routability under static random failures.
+
+This is the reproduction's stand-in for the simulation study of Gummadi et
+al. (SIGCOMM 2003) whose data points the paper compares against in
+Figure 6: build an overlay over a fully populated ``d``-bit space, fail each
+node independently with probability ``q``, freeze the routing tables, then
+sample surviving (source, destination) pairs and attempt to route between
+them.  The measured fraction of failed paths is the Monte-Carlo estimate of
+``1 - routability``.
+
+The module exposes three levels of API:
+
+* :func:`measure_routability` — one overlay, one failure probability.
+* :func:`sweep_failure_probabilities` — one overlay, a list of ``q`` values
+  (the shape of the paper's Figure 6 curves).
+* :func:`simulate_geometry` — convenience wrapper that builds the overlay
+  from a geometry name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..dht import (
+    OVERLAY_CLASSES,
+    Overlay,
+    RoutingMetrics,
+    UniformNodeFailure,
+    make_rng,
+    summarize_routes,
+)
+from ..dht.failures import FailureModel
+from ..exceptions import InvalidParameterError, UnknownGeometryError
+from ..validation import (
+    check_failure_probability,
+    check_identifier_length,
+    check_positive_int,
+)
+from .sampling import sample_survivor_pairs
+
+__all__ = [
+    "StaticResilienceResult",
+    "ResilienceSweepResult",
+    "measure_routability",
+    "sweep_failure_probabilities",
+    "simulate_geometry",
+    "build_overlay",
+]
+
+
+@dataclass(frozen=True)
+class StaticResilienceResult:
+    """Measured routability of one overlay at one failure probability.
+
+    Attributes
+    ----------
+    geometry:
+        Paper geometry label of the overlay ("tree", "hypercube", ...).
+    system:
+        Representative system name ("Plaxton", "CAN", ...).
+    d:
+        Identifier length; the overlay has ``N = 2^d`` nodes.
+    q:
+        Node failure probability used for this measurement.
+    trials:
+        Number of independent failure patterns that were sampled.
+    pairs_per_trial:
+        Number of surviving (source, destination) pairs routed per trial.
+    metrics:
+        Pooled :class:`~repro.dht.metrics.RoutingMetrics` over all trials.
+    degenerate_trials:
+        Trials in which fewer than two nodes survived (possible only at
+        extreme ``q``); such trials contribute no routing attempts.
+    """
+
+    geometry: str
+    system: str
+    d: int
+    q: float
+    trials: int
+    pairs_per_trial: int
+    metrics: RoutingMetrics
+    degenerate_trials: int = 0
+
+    @property
+    def routability(self) -> float:
+        """Measured routability (fraction of sampled surviving pairs that routed)."""
+        return self.metrics.routability
+
+    @property
+    def failed_path_fraction(self) -> float:
+        """Measured fraction of failed paths (the paper's Figure 6 y-axis)."""
+        return self.metrics.failed_path_fraction
+
+    @property
+    def failed_path_percent(self) -> float:
+        """Measured percentage of failed paths."""
+        return 100.0 * self.metrics.failed_path_fraction
+
+
+@dataclass(frozen=True)
+class ResilienceSweepResult:
+    """Measured routability of one overlay across a sweep of failure probabilities."""
+
+    geometry: str
+    system: str
+    d: int
+    results: Tuple[StaticResilienceResult, ...]
+
+    @property
+    def failure_probabilities(self) -> Tuple[float, ...]:
+        """The ``q`` values of the sweep, in the order they were simulated."""
+        return tuple(result.q for result in self.results)
+
+    @property
+    def failed_path_percentages(self) -> Tuple[float, ...]:
+        """Measured percent of failed paths for each ``q``."""
+        return tuple(result.failed_path_percent for result in self.results)
+
+    @property
+    def routabilities(self) -> Tuple[float, ...]:
+        """Measured routability for each ``q``."""
+        return tuple(result.routability for result in self.results)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for tabular reports: one dict per ``q``."""
+        return [
+            {
+                "q": result.q,
+                "routability": result.routability,
+                "failed_path_percent": result.failed_path_percent,
+                "attempts": result.metrics.attempts,
+            }
+            for result in self.results
+        ]
+
+
+def build_overlay(
+    geometry: str,
+    d: int,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    **overlay_options,
+) -> Overlay:
+    """Build the overlay simulator for ``geometry`` over a ``d``-bit space.
+
+    ``geometry`` is one of the paper's labels: ``"tree"``, ``"hypercube"``,
+    ``"xor"``, ``"ring"`` or ``"smallworld"``.  Extra keyword arguments are
+    forwarded to the overlay's ``build`` method (e.g. ``near_neighbors``
+    and ``shortcuts`` for Symphony).
+    """
+    d = check_identifier_length(d)
+    try:
+        overlay_cls: Type[Overlay] = OVERLAY_CLASSES[geometry]
+    except KeyError as exc:
+        raise UnknownGeometryError(
+            f"unknown geometry {geometry!r}; expected one of {sorted(OVERLAY_CLASSES)}"
+        ) from exc
+    return overlay_cls.build(d, seed=seed, rng=rng, **overlay_options)
+
+
+def measure_routability(
+    overlay: Overlay,
+    q: float,
+    *,
+    pairs: int = 2000,
+    trials: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    failure_model: Optional[FailureModel] = None,
+) -> StaticResilienceResult:
+    """Estimate the routability of ``overlay`` at failure probability ``q``.
+
+    Parameters
+    ----------
+    overlay:
+        A built overlay simulator (its routing tables are reused across trials).
+    q:
+        Node failure probability.  Ignored when an explicit ``failure_model``
+        is supplied (the model then defines the failure pattern and ``q`` is
+        only recorded for reporting).
+    pairs:
+        Surviving (source, destination) pairs sampled per trial.
+    trials:
+        Independent failure patterns to average over.
+    failure_model:
+        Optional alternative failure model; defaults to the paper's uniform
+        node-failure model with probability ``q``.
+    """
+    q = check_failure_probability(q)
+    pairs = check_positive_int(pairs, "pairs")
+    trials = check_positive_int(trials, "trials")
+    generator = make_rng(rng, seed)
+    model = failure_model if failure_model is not None else UniformNodeFailure(q)
+
+    pooled: Optional[RoutingMetrics] = None
+    degenerate = 0
+    for _ in range(trials):
+        alive = model.sample(overlay.n_nodes, generator)
+        if int(alive.sum()) < 2:
+            degenerate += 1
+            continue
+        pair_list = sample_survivor_pairs(alive, pairs, generator)
+        results = [overlay.route(source, destination, alive) for source, destination in pair_list]
+        metrics = summarize_routes(results)
+        pooled = metrics if pooled is None else pooled.merged_with(metrics)
+    if pooled is None:
+        pooled = summarize_routes([])
+    return StaticResilienceResult(
+        geometry=overlay.geometry_name,
+        system=overlay.system_name,
+        d=overlay.d,
+        q=q,
+        trials=trials,
+        pairs_per_trial=pairs,
+        metrics=pooled,
+        degenerate_trials=degenerate,
+    )
+
+
+def sweep_failure_probabilities(
+    overlay: Overlay,
+    failure_probabilities: Sequence[float],
+    *,
+    pairs: int = 2000,
+    trials: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> ResilienceSweepResult:
+    """Measure routability of ``overlay`` across a sweep of failure probabilities."""
+    if len(failure_probabilities) == 0:
+        raise InvalidParameterError("failure_probabilities must not be empty")
+    generator = make_rng(rng, seed)
+    results = tuple(
+        measure_routability(overlay, q, pairs=pairs, trials=trials, rng=generator)
+        for q in failure_probabilities
+    )
+    return ResilienceSweepResult(
+        geometry=overlay.geometry_name,
+        system=overlay.system_name,
+        d=overlay.d,
+        results=results,
+    )
+
+
+def simulate_geometry(
+    geometry: str,
+    d: int,
+    failure_probabilities: Sequence[float],
+    *,
+    pairs: int = 2000,
+    trials: int = 3,
+    seed: Optional[int] = None,
+    **overlay_options,
+) -> ResilienceSweepResult:
+    """Build the overlay for ``geometry`` and sweep the given failure probabilities.
+
+    This is the one-call entry point used by the Figure 6 experiments and
+    the quickstart example.
+    """
+    generator = np.random.default_rng(seed)
+    overlay = build_overlay(geometry, d, rng=generator, **overlay_options)
+    return sweep_failure_probabilities(
+        overlay,
+        failure_probabilities,
+        pairs=pairs,
+        trials=trials,
+        rng=generator,
+    )

@@ -1,0 +1,17 @@
+"""Sweep grids and Monte-Carlo workload specifications for experiments."""
+
+from .generators import (
+    PairWorkload,
+    failure_probability_grid,
+    paper_failure_probabilities,
+    paper_system_sizes,
+    system_size_grid,
+)
+
+__all__ = [
+    "PairWorkload",
+    "failure_probability_grid",
+    "paper_failure_probabilities",
+    "paper_system_sizes",
+    "system_size_grid",
+]

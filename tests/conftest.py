@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht import (
+    ChordOverlay,
+    HypercubeOverlay,
+    KademliaOverlay,
+    PlaxtonOverlay,
+    SymphonyOverlay,
+)
+
+#: Geometry label -> overlay class, small enough to build in every test.
+SMALL_D = 6
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_overlays():
+    """One small (d=6, 64-node) overlay per geometry, built once per session."""
+    seed = 2006
+    return {
+        "tree": PlaxtonOverlay.build(SMALL_D, seed=seed),
+        "hypercube": HypercubeOverlay.build(SMALL_D),
+        "xor": KademliaOverlay.build(SMALL_D, seed=seed),
+        "ring": ChordOverlay.build(SMALL_D, seed=seed),
+        "smallworld": SymphonyOverlay.build(SMALL_D, seed=seed),
+    }
+
+
+@pytest.fixture(params=["tree", "hypercube", "xor", "ring", "smallworld"])
+def geometry_name(request):
+    """Parametrised fixture yielding each paper geometry label."""
+    return request.param

@@ -1,0 +1,91 @@
+"""Integration tests: the RCM predictions against the overlay simulators.
+
+These are the reproduction's equivalent of the paper's Figure 6 agreement
+claims, scaled down to sizes that run in seconds:
+
+* tree and hypercube — the analytical expressions are essentially exact for
+  the simulated overlays, so the match is tight;
+* XOR — the analytical model abstracts the suffix randomisation of real
+  Kademlia tables, so a moderate tolerance is used;
+* ring — the analytical curve is a *bound*: simulation must not do worse
+  (beyond Monte-Carlo noise), and at low failure rates it must be close;
+* Symphony — the model is coarse (the paper never validates it against
+  simulation); only the qualitative collapse is checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import get_geometry
+from repro.sim.static_resilience import simulate_geometry
+
+SIMULATION_D = 10
+PAIRS = 1200
+TRIALS = 2
+SEED = 424242
+
+
+def simulated_routability(geometry: str, q: float, **options) -> float:
+    sweep = simulate_geometry(
+        geometry, SIMULATION_D, [q], pairs=PAIRS, trials=TRIALS, seed=SEED, **options
+    )
+    return sweep.results[0].routability
+
+
+class TestTightAgreement:
+    @pytest.mark.parametrize("q", [0.1, 0.3, 0.5])
+    def test_tree_matches_analysis(self, q):
+        predicted = get_geometry("tree").routability(q, d=SIMULATION_D)
+        assert simulated_routability("tree", q) == pytest.approx(predicted, abs=0.05)
+
+    @pytest.mark.parametrize("q", [0.1, 0.3, 0.5])
+    def test_hypercube_matches_analysis(self, q):
+        predicted = get_geometry("hypercube").routability(q, d=SIMULATION_D)
+        assert simulated_routability("hypercube", q) == pytest.approx(predicted, abs=0.05)
+
+
+class TestModerateAgreement:
+    @pytest.mark.parametrize("q", [0.1, 0.3, 0.5])
+    def test_xor_matches_analysis_within_model_error(self, q):
+        predicted = get_geometry("xor").routability(q, d=SIMULATION_D)
+        assert simulated_routability("xor", q) == pytest.approx(predicted, abs=0.12)
+
+
+class TestRingBound:
+    @pytest.mark.parametrize("q", [0.1, 0.2])
+    def test_bound_is_tight_at_low_failure_rates(self, q):
+        predicted = get_geometry("ring").routability(q, d=SIMULATION_D)
+        assert simulated_routability("ring", q) == pytest.approx(predicted, abs=0.06)
+
+    @pytest.mark.parametrize("q", [0.4, 0.6])
+    def test_analysis_is_a_lower_bound_on_routability(self, q):
+        predicted = get_geometry("ring").routability(q, d=SIMULATION_D)
+        # Simulation may beat the bound substantially but must not fall meaningfully below it.
+        assert simulated_routability("ring", q) >= predicted - 0.05
+
+
+class TestSymphonyQualitative:
+    def test_routability_collapses_with_failure_probability(self):
+        gentle = simulated_routability("smallworld", 0.1)
+        harsh = simulated_routability("smallworld", 0.4)
+        assert harsh < gentle
+        assert harsh < 0.2
+
+    def test_extra_links_help_in_simulation_and_analysis(self):
+        sparse_sim = simulated_routability("smallworld", 0.2)
+        dense_sim = simulated_routability("smallworld", 0.2, near_neighbors=2, shortcuts=2)
+        assert dense_sim > sparse_sim
+        sparse_analysis = get_geometry("smallworld").routability(0.2, d=SIMULATION_D)
+        dense_analysis = get_geometry(
+            "smallworld", near_neighbors=2, shortcuts=2
+        ).routability(0.2, d=SIMULATION_D)
+        assert dense_analysis > sparse_analysis
+
+
+class TestOrderingIsPreservedBySimulation:
+    @pytest.mark.parametrize("q", [0.2, 0.4])
+    def test_tree_is_the_weakest_geometry_in_simulation_too(self, q):
+        tree = simulated_routability("tree", q)
+        for other in ("hypercube", "xor", "ring"):
+            assert simulated_routability(other, q) > tree

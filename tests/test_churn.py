@@ -1,0 +1,130 @@
+"""Tests for the churn extension (dynamic-failure applicability of the static model)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import get_geometry
+from repro.dht import HypercubeOverlay, KademliaOverlay
+from repro.exceptions import InvalidParameterError
+from repro.sim.churn import (
+    ChurnConfig,
+    effective_failure_probability,
+    simulate_churn,
+)
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return KademliaOverlay.build(8, seed=17)
+
+
+class TestChurnConfig:
+    def test_defaults_are_valid(self):
+        config = ChurnConfig()
+        assert 0.0 < config.stationary_offline_fraction < 1.0
+
+    def test_stationary_offline_fraction(self):
+        config = ChurnConfig(leave_probability=0.02, rejoin_probability=0.06)
+        assert config.stationary_offline_fraction == pytest.approx(0.25)
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(leave_probability=1.5)
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(rejoin_probability=-0.1)
+
+    def test_rejects_frozen_process(self):
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(leave_probability=0.0, rejoin_probability=0.0)
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(steps_per_epoch=0)
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(pairs_per_step=0)
+
+
+class TestEffectiveFailureProbability:
+    def test_zero_steps_means_no_failures(self):
+        assert effective_failure_probability(ChurnConfig(), 0) == 0.0
+
+    def test_monotone_in_time(self):
+        config = ChurnConfig(leave_probability=0.05, rejoin_probability=0.05)
+        values = [effective_failure_probability(config, t) for t in range(0, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_converges_to_stationary_fraction(self):
+        config = ChurnConfig(leave_probability=0.05, rejoin_probability=0.05)
+        assert effective_failure_probability(config, 10_000) == pytest.approx(
+            config.stationary_offline_fraction
+        )
+
+    def test_single_step_equals_leave_probability(self):
+        config = ChurnConfig(leave_probability=0.03, rejoin_probability=0.07)
+        assert effective_failure_probability(config, 1) == pytest.approx(0.03)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            effective_failure_probability(ChurnConfig(), -1)
+
+
+class TestSimulateChurn:
+    @pytest.fixture(scope="class")
+    def result(self, overlay):
+        config = ChurnConfig(
+            leave_probability=0.05,
+            rejoin_probability=0.02,
+            steps_per_epoch=8,
+            pairs_per_step=300,
+        )
+        return simulate_churn(overlay, config, seed=5)
+
+    def test_one_result_per_step(self, result):
+        assert len(result.steps) == 8
+        assert [step.step for step in result.steps] == list(range(1, 9))
+
+    def test_usable_fraction_tracks_effective_q(self, result):
+        for step in result.steps:
+            assert step.usable_fraction == pytest.approx(1.0 - step.effective_q, abs=0.08)
+
+    def test_usable_fraction_never_exceeds_online_fraction(self, result):
+        for step in result.steps:
+            assert step.usable_fraction <= step.online_fraction + 1e-12
+
+    def test_routability_degrades_over_the_epoch(self, result):
+        first, last = result.steps[0], result.steps[-1]
+        assert last.measured_routability <= first.measured_routability + 0.02
+
+    def test_rows_match_steps(self, result):
+        rows = result.as_rows()
+        assert len(rows) == len(result.steps)
+        assert rows[0]["step"] == 1
+        assert 0.0 <= rows[-1]["measured_routability"] <= 1.0
+
+    def test_reproducible_with_seed(self, overlay):
+        config = ChurnConfig(steps_per_epoch=4, pairs_per_step=100)
+        first = simulate_churn(overlay, config, seed=9)
+        second = simulate_churn(overlay, config, seed=9)
+        assert [s.measured_routability for s in first.steps] == [
+            s.measured_routability for s in second.steps
+        ]
+
+    def test_static_model_predicts_churn_routability(self):
+        # The headline claim of the EXT-CHURN extension, checked on a hypercube
+        # overlay where the analytical model is essentially exact.
+        overlay = HypercubeOverlay.build(9)
+        config = ChurnConfig(
+            leave_probability=0.04,
+            rejoin_probability=0.02,
+            steps_per_epoch=10,
+            pairs_per_step=600,
+        )
+        result = simulate_churn(overlay, config, seed=3)
+        geometry = get_geometry("hypercube")
+        for step in result.steps:
+            predicted = geometry.routability(step.effective_q, d=overlay.d)
+            assert step.measured_routability == pytest.approx(predicted, abs=0.08)

@@ -1,0 +1,92 @@
+"""Tests for the ``rcm`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_routability_arguments(self):
+        arguments = build_parser().parse_args(
+            ["routability", "--geometry", "xor", "--q", "0.3", "--d", "16"]
+        )
+        assert arguments.command == "routability"
+        assert arguments.geometry == "xor"
+        assert arguments.q == 0.3
+        assert arguments.d == 16
+
+    def test_unknown_geometry_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["routability", "--geometry", "pastry", "--q", "0.1", "--d", "8"])
+
+    def test_simulate_accepts_multiple_qs(self):
+        arguments = build_parser().parse_args(
+            ["simulate", "--geometry", "ring", "--q", "0.1", "0.3", "--d", "8"]
+        )
+        assert arguments.q == [0.1, 0.3]
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG6A" in output
+        assert "FIG7B" in output
+
+    def test_routability_command(self, capsys):
+        assert main(["routability", "--geometry", "xor", "--q", "0.3", "--d", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "xor" in output
+        assert "routability" in output
+
+    def test_scalability_command(self, capsys):
+        assert main(["scalability"]) == 0
+        output = capsys.readouterr().out
+        assert "smallworld" in output
+        assert "hypercube" in output
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--q", "0.2", "--d", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "tree" in output and "ring" in output
+
+    def test_simulate_command(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--geometry",
+                "hypercube",
+                "--d",
+                "7",
+                "--q",
+                "0.0",
+                "0.3",
+                "--pairs",
+                "60",
+                "--trials",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "routability" in output
+        assert "hypercube" in output
+
+    def test_run_experiment_command(self, capsys):
+        assert main(
+            ["run", "TAB-SCAL", "--pairs", "50", "--trials", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "scalability_classification" in output
+
+    def test_run_experiment_csv_export(self, capsys):
+        assert main(
+            ["run", "FIG7B", "--csv", "fig7b_routability_percent", "--pairs", "50", "--trials", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert output.splitlines()[0].startswith("n_nodes")

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs end to end and prints its tables.
+
+The examples are part of the public deliverable, so they are executed (with
+their module-level ``main()``) rather than merely imported.  Monkeypatched
+argv keeps the parameterised example on its defaults.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples_ship(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    def test_quickstart_is_one_of_them(self):
+        assert any(path.name == "quickstart.py" for path in EXAMPLE_FILES)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_examples_have_docstrings_and_main(self, path):
+        module = load_example(path)
+        assert module.__doc__
+        assert hasattr(module, "main")
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs_and_prints_output(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    module = load_example(path)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) > 5, f"{path.name} produced almost no output"

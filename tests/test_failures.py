@@ -1,0 +1,106 @@
+"""Tests for the failure models used by the static-resilience simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.failures import (
+    RegionalFailure,
+    TargetedNodeFailure,
+    UniformNodeFailure,
+    survival_mask,
+    surviving_identifiers,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSurvivalMask:
+    def test_zero_failure_keeps_everyone(self, rng):
+        mask = survival_mask(100, 0.0, rng)
+        assert mask.all()
+
+    def test_certain_failure_kills_everyone(self, rng):
+        mask = survival_mask(100, 1.0, rng)
+        assert not mask.any()
+
+    def test_survival_rate_is_close_to_expectation(self, rng):
+        q = 0.3
+        mask = survival_mask(20000, q, rng)
+        assert mask.mean() == pytest.approx(1.0 - q, abs=0.02)
+
+    def test_rejects_invalid_probability(self, rng):
+        with pytest.raises(InvalidParameterError):
+            survival_mask(10, 1.5, rng)
+
+    def test_rejects_tiny_population(self, rng):
+        with pytest.raises(InvalidParameterError):
+            survival_mask(1, 0.5, rng)
+
+    def test_surviving_identifiers(self):
+        mask = np.array([True, False, True, True, False])
+        assert list(surviving_identifiers(mask)) == [0, 2, 3]
+
+
+class TestUniformNodeFailure:
+    def test_sample_shape_and_dtype(self, rng):
+        model = UniformNodeFailure(0.25)
+        mask = model.sample(64, rng)
+        assert mask.shape == (64,)
+        assert mask.dtype == np.bool_
+
+    def test_description_mentions_q(self):
+        assert "0.25" in UniformNodeFailure(0.25).description
+
+    def test_rejects_invalid_q(self):
+        with pytest.raises(InvalidParameterError):
+            UniformNodeFailure(-0.1)
+
+
+class TestTargetedNodeFailure:
+    def test_fails_top_ranked_nodes(self, rng):
+        ranking = list(range(10))  # nodes 0..9 ranked most to least important
+        model = TargetedNodeFailure(fraction=0.3, ranking=ranking)
+        mask = model.sample(10, rng)
+        assert not mask[0] and not mask[1] and not mask[2]
+        assert mask[3:].all()
+
+    def test_zero_fraction_keeps_everyone(self, rng):
+        model = TargetedNodeFailure(fraction=0.0, ranking=list(range(10)))
+        assert model.sample(10, rng).all()
+
+    def test_rejects_mismatched_ranking_length(self, rng):
+        model = TargetedNodeFailure(fraction=0.5, ranking=[0, 1, 2])
+        with pytest.raises(InvalidParameterError):
+            model.sample(10, rng)
+
+    def test_rejects_invalid_ranking_entries(self, rng):
+        model = TargetedNodeFailure(fraction=1.0, ranking=[0, 99])
+        with pytest.raises(InvalidParameterError):
+            model.sample(2, rng)
+
+    def test_rejects_empty_ranking(self):
+        with pytest.raises(InvalidParameterError):
+            TargetedNodeFailure(fraction=0.5, ranking=[])
+
+
+class TestRegionalFailure:
+    def test_fails_a_contiguous_fraction(self, rng):
+        model = RegionalFailure(fraction=0.25)
+        mask = model.sample(64, rng)
+        assert int((~mask).sum()) == 16
+
+    def test_failed_region_is_contiguous_on_the_ring(self, rng):
+        model = RegionalFailure(fraction=0.25)
+        mask = model.sample(64, rng)
+        failed = np.flatnonzero(~mask)
+        # On a ring, a contiguous block either has consecutive indices or wraps around.
+        gaps = np.diff(failed)
+        assert (gaps == 1).sum() >= len(failed) - 2
+
+    def test_zero_fraction_keeps_everyone(self, rng):
+        model = RegionalFailure(fraction=0.0)
+        assert model.sample(32, rng).all()
+
+    def test_description_mentions_region(self):
+        assert "contiguous" in RegionalFailure(fraction=0.1).description

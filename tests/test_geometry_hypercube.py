@@ -1,0 +1,77 @@
+"""Tests for the hypercube (CAN) geometry closed forms — Sections 4.2 and 5.2."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.geometries.hypercube import HypercubeGeometry
+
+
+@pytest.fixture(scope="module")
+def hypercube():
+    return HypercubeGeometry()
+
+
+class TestIngredients:
+    def test_distance_distribution_is_binomial(self, hypercube):
+        counts = hypercube.distance_distribution(5)
+        assert counts == pytest.approx([math.comb(5, h) for h in range(1, 6)])
+
+    def test_phase_failure_is_q_to_the_m(self, hypercube):
+        q = 0.4
+        for m in (1, 2, 5):
+            assert hypercube.phase_failure_probability(m, q, 16) == pytest.approx(q**m)
+
+    def test_equation_two(self, hypercube):
+        # p(h, q) = prod_{m=1..h} (1 - q^m), the paper's Eq. 2.
+        q, h = 0.3, 6
+        expected = math.prod(1 - q**m for m in range(1, h + 1))
+        assert hypercube.path_success_probability(h, q, 16) == pytest.approx(expected)
+
+    def test_figure3_example_value(self, hypercube):
+        # The worked example: p(3, q) = (1 - q^3)(1 - q^2)(1 - q).
+        q = 0.25
+        expected = (1 - q**3) * (1 - q**2) * (1 - q)
+        assert hypercube.path_success_probability(3, q, 3) == pytest.approx(expected)
+
+
+class TestRoutability:
+    def test_equation_four_direct_sum(self, hypercube):
+        # r = sum_h C(d,h) prod_{m<=h}(1-q^m) / ((1-q) 2^d - 1), the paper's Eq. 4.
+        d, q = 8, 0.35
+        numerator = sum(
+            math.comb(d, h) * math.prod(1 - q**m for m in range(1, h + 1))
+            for h in range(1, d + 1)
+        )
+        expected = numerator / ((1 - q) * 2**d - 1)
+        assert hypercube.routability(q, d=d) == pytest.approx(expected, rel=1e-9)
+
+    def test_stays_routable_at_asymptotic_sizes(self, hypercube):
+        # Scalability in numbers: the q=0.1 routability barely moves from d=16 to d=100.
+        small = hypercube.routability(0.1, d=16)
+        large = hypercube.routability(0.1, d=100)
+        assert abs(small - large) < 0.01
+        assert large > 0.95
+
+
+class TestWorkedExampleTable:
+    def test_table_matches_figure_three(self, hypercube):
+        rows = hypercube.worked_example_table(3, 0.3)
+        assert [row["n_h"] for row in rows] == [3, 3, 1]
+        assert rows[0]["step_success"] == pytest.approx(1 - 0.3**3)
+        assert rows[1]["step_success"] == pytest.approx(1 - 0.3**2)
+        assert rows[2]["step_success"] == pytest.approx(1 - 0.3)
+
+    def test_table_path_success_column_is_cumulative(self, hypercube):
+        rows = hypercube.worked_example_table(4, 0.2)
+        for earlier, later in zip(rows, rows[1:]):
+            assert later["path_success"] <= earlier["path_success"] + 1e-12
+
+
+class TestVerdict:
+    def test_declared_scalable(self, hypercube):
+        verdict = hypercube.scalability()
+        assert verdict.scalable is True
+        assert "geometric" in verdict.series_behaviour

@@ -1,0 +1,105 @@
+"""Tests for the ring (Chord) geometry closed forms — Sections 4.3.3 and 5.4."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.geometries.ring import RingGeometry
+from repro.core.geometry import get_geometry
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return RingGeometry()
+
+
+def brute_force_q_ring(m: int, q: float) -> float:
+    """Direct evaluation of the truncated geometric sum in Section 4.3.3."""
+    suboptimal = q * (1.0 - q ** (m - 1))
+    return q**m * sum(suboptimal**k for k in range(2 ** (m - 1)))
+
+
+class TestPhaseFailure:
+    @pytest.mark.parametrize("q", [0.05, 0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8])
+    def test_matches_brute_force_sum(self, ring, q, m):
+        assert ring.phase_failure_probability(m, q, 16) == pytest.approx(
+            brute_force_q_ring(m, q), rel=1e-10
+        )
+
+    def test_single_phase_reduces_to_q(self, ring):
+        assert ring.phase_failure_probability(1, 0.42, 16) == pytest.approx(0.42)
+
+    def test_edge_probabilities(self, ring):
+        assert ring.phase_failure_probability(3, 0.0, 16) == 0.0
+        assert ring.phase_failure_probability(3, 1.0, 16) == 1.0
+
+    def test_large_m_does_not_overflow(self, ring):
+        value = ring.phase_failure_probability(300, 0.5, 400)
+        assert 0.0 <= value <= 1.0
+
+    def test_explicit_suboptimal_cap(self):
+        capped = RingGeometry(max_suboptimal_hops=2)
+        q, m = 0.5, 4
+        suboptimal = q * (1.0 - q ** (m - 1))
+        expected = q**m * sum(suboptimal**k for k in range(3))
+        assert capped.phase_failure_probability(m, q, 16) == pytest.approx(expected, rel=1e-12)
+        assert capped.max_suboptimal_hops == 2
+
+    def test_cap_never_exceeds_paper_value(self, ring):
+        # A generous explicit cap must reduce to the paper's own 2^(m-1) - 1 cap.
+        generous = RingGeometry(max_suboptimal_hops=10**9)
+        for m in (2, 3, 4):
+            assert generous.phase_failure_probability(m, 0.3, 16) == pytest.approx(
+                ring.phase_failure_probability(m, 0.3, 16), rel=1e-12
+            )
+
+
+class TestRelationToXor:
+    def test_ring_phase_failure_below_xor(self, ring):
+        # Section 5.4: the ring chain dominates the XOR chain phase by phase.
+        xor = get_geometry("xor")
+        for q in (0.1, 0.4, 0.7):
+            for m in range(1, 12):
+                assert (
+                    ring.phase_failure_probability(m, q, 16)
+                    <= xor.phase_failure_probability(m, q, 16) + 1e-12
+                )
+
+    def test_ring_routability_above_xor_on_matching_distance_metric(self, ring):
+        # The per-phase dominance translates into p_ring(h, q) >= p_xor(h, q).
+        xor = get_geometry("xor")
+        for q in (0.2, 0.5):
+            for h in (2, 5, 10):
+                ring_p = math.prod(
+                    1 - ring.phase_failure_probability(m, q, 16) for m in range(1, h + 1)
+                )
+                xor_p = math.prod(
+                    1 - xor.phase_failure_probability(m, q, 16) for m in range(1, h + 1)
+                )
+                assert ring_p >= xor_p - 1e-12
+
+
+class TestRoutability:
+    def test_distance_distribution_is_ring_like(self, ring):
+        counts = ring.distance_distribution(6)
+        assert counts == pytest.approx([1, 2, 4, 8, 16, 32])
+
+    def test_asymptotically_stable(self, ring):
+        small = ring.routability(0.1, d=16)
+        large = ring.routability(0.1, d=100)
+        assert abs(small - large) < 0.01
+        assert large > 0.95
+
+    def test_matches_paper_figure_magnitude(self, ring):
+        # Figure 6(b): at q = 0.5 the analytical ring curve predicts roughly half of
+        # the paths failing (the simulation does better); sanity-check the magnitude.
+        failed_percent = ring.failed_path_percent(0.5, d=16)
+        assert 40.0 <= failed_percent <= 70.0
+
+
+class TestVerdict:
+    def test_declared_scalable(self, ring):
+        assert ring.scalability().scalable is True

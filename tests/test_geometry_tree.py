@@ -1,0 +1,65 @@
+"""Tests for the tree (Plaxton) geometry closed forms — Section 4.3.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.geometries.tree import TreeGeometry
+from repro.core.geometry import get_geometry
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return TreeGeometry()
+
+
+class TestIngredients:
+    def test_distance_distribution_is_binomial(self, tree):
+        counts = tree.distance_distribution(6)
+        expected = [math.comb(6, h) for h in range(1, 7)]
+        assert counts == pytest.approx(expected)
+
+    def test_phase_failure_is_constant_q(self, tree):
+        for m in (1, 3, 10):
+            assert tree.phase_failure_probability(m, 0.35, 16) == 0.35
+
+    def test_path_success_closed_form(self, tree):
+        for h in (1, 4, 9):
+            assert tree.path_success_probability(h, 0.2, 16) == pytest.approx(0.8**h)
+
+
+class TestClosedFormRoutability:
+    @pytest.mark.parametrize("d", [4, 8, 16])
+    @pytest.mark.parametrize("q", [0.05, 0.3, 0.6, 0.9])
+    def test_matches_generic_rcm_evaluation(self, tree, d, q):
+        assert tree.closed_form_routability(d, q) == pytest.approx(
+            tree.routability(q, d=d), rel=1e-9
+        )
+
+    def test_matches_direct_binomial_sum(self, tree):
+        d, q = 10, 0.3
+        expected = sum(math.comb(d, h) * (1 - q) ** h for h in range(1, d + 1)) / (
+            (1 - q) * 2**d - 1
+        )
+        assert tree.closed_form_routability(d, q) == pytest.approx(expected, rel=1e-9)
+
+    def test_edge_cases(self, tree):
+        assert tree.closed_form_routability(10, 0.0) == 1.0
+        assert tree.closed_form_routability(10, 1.0) == 0.0
+
+    def test_asymptotic_collapse(self, tree):
+        # Unscalability in numbers: routability at q = 0.1 collapses as d grows.
+        assert tree.routability(0.1, d=100) < 0.01
+        assert tree.routability(0.1, d=16) > 0.4
+
+
+class TestVerdict:
+    def test_declared_unscalable(self, tree):
+        verdict = tree.scalability()
+        assert verdict.scalable is False
+        assert "diverges" in verdict.series_behaviour
+
+    def test_registry_alias(self):
+        assert isinstance(get_geometry("plaxton"), TreeGeometry)

@@ -1,0 +1,185 @@
+"""Unit and property tests for the identifier-space substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.identifiers import (
+    IdentifierSpace,
+    absolute_ring_distance,
+    bit_at,
+    common_prefix_length,
+    flip_bit,
+    hamming_distance,
+    highest_differing_bit,
+    phase_of_distance,
+    ring_distance,
+    xor_distance,
+)
+from repro.exceptions import InvalidParameterError
+
+D = 8
+identifiers = st.integers(min_value=0, max_value=(1 << D) - 1)
+
+
+class TestDistanceFunctions:
+    def test_hamming_distance_basic(self):
+        assert hamming_distance(0b1010, 0b0110) == 2
+        assert hamming_distance(5, 5) == 0
+
+    def test_xor_distance_basic(self):
+        assert xor_distance(0b1010, 0b0110) == 0b1100
+        assert xor_distance(7, 7) == 0
+
+    def test_ring_distance_is_directional(self):
+        assert ring_distance(2, 5, 8) == 3
+        assert ring_distance(5, 2, 8) == 5
+
+    def test_ring_distance_rejects_bad_size(self):
+        with pytest.raises(InvalidParameterError):
+            ring_distance(0, 1, 0)
+
+    def test_absolute_ring_distance(self):
+        assert absolute_ring_distance(2, 5, 8) == 3
+        assert absolute_ring_distance(5, 2, 8) == 3
+        assert absolute_ring_distance(0, 4, 8) == 4
+
+    @given(identifiers, identifiers)
+    @settings(max_examples=100, deadline=None)
+    def test_hamming_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(identifiers, identifiers, identifiers)
+    @settings(max_examples=100, deadline=None)
+    def test_hamming_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(identifiers, identifiers)
+    @settings(max_examples=100, deadline=None)
+    def test_xor_symmetry_and_identity(self, a, b):
+        assert xor_distance(a, b) == xor_distance(b, a)
+        assert xor_distance(a, a) == 0
+
+    @given(identifiers, identifiers)
+    @settings(max_examples=100, deadline=None)
+    def test_ring_distances_sum_to_ring_size(self, a, b):
+        if a != b:
+            assert ring_distance(a, b, 1 << D) + ring_distance(b, a, 1 << D) == (1 << D)
+
+
+class TestBitHelpers:
+    def test_bit_at_msb_convention(self):
+        # 0b1000 in a 4-bit space: bit 1 (MSB) is 1, the rest are 0.
+        assert bit_at(0b1000, 1, 4) == 1
+        assert bit_at(0b1000, 4, 4) == 0
+
+    def test_bit_at_rejects_out_of_range_position(self):
+        with pytest.raises(InvalidParameterError):
+            bit_at(0, 5, 4)
+
+    def test_flip_bit_round_trip(self):
+        value = 0b1010
+        assert flip_bit(flip_bit(value, 2, 4), 2, 4) == value
+
+    def test_flip_bit_changes_expected_position(self):
+        assert flip_bit(0b0000, 1, 4) == 0b1000
+        assert flip_bit(0b0000, 4, 4) == 0b0001
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length(0b1100, 0b1101, 4) == 3
+        assert common_prefix_length(0b1100, 0b1100, 4) == 4
+        assert common_prefix_length(0b0000, 0b1000, 4) == 0
+
+    def test_highest_differing_bit(self):
+        assert highest_differing_bit(0b1100, 0b1101, 4) == 4
+        assert highest_differing_bit(0b0000, 0b1000, 4) == 1
+
+    def test_highest_differing_bit_rejects_equal_identifiers(self):
+        with pytest.raises(InvalidParameterError):
+            highest_differing_bit(3, 3, 4)
+
+    @given(identifiers, identifiers)
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_plus_differing_bit_consistency(self, a, b):
+        if a != b:
+            assert common_prefix_length(a, b, D) == highest_differing_bit(a, b, D) - 1
+
+    @given(identifiers, st.integers(min_value=1, max_value=D))
+    @settings(max_examples=100, deadline=None)
+    def test_flip_bit_changes_hamming_by_one(self, a, position):
+        assert hamming_distance(a, flip_bit(a, position, D)) == 1
+
+
+class TestPhaseOfDistance:
+    def test_phase_boundaries(self):
+        assert phase_of_distance(1) == 0
+        assert phase_of_distance(2) == 1
+        assert phase_of_distance(3) == 1
+        assert phase_of_distance(4) == 2
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(InvalidParameterError):
+            phase_of_distance(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_phase_bracketing(self, distance):
+        phase = phase_of_distance(distance)
+        assert 2**phase <= distance < 2 ** (phase + 1)
+
+
+class TestIdentifierSpace:
+    def test_size(self):
+        assert IdentifierSpace(4).size == 16
+
+    def test_contains_and_validate(self):
+        space = IdentifierSpace(4)
+        assert space.contains(0)
+        assert space.contains(15)
+        assert not space.contains(16)
+        assert not space.contains(-1)
+        with pytest.raises(InvalidParameterError):
+            space.validate(16)
+
+    def test_accepts_numpy_integers(self):
+        space = IdentifierSpace(4)
+        assert space.validate(np.int64(7)) == 7
+
+    def test_bits_round_trip(self):
+        space = IdentifierSpace(5)
+        for value in (0, 1, 17, 31):
+            assert space.from_bits(space.to_bits(value)) == value
+
+    def test_from_bits_rejects_bad_strings(self):
+        space = IdentifierSpace(4)
+        with pytest.raises(InvalidParameterError):
+            space.from_bits("10")
+        with pytest.raises(InvalidParameterError):
+            space.from_bits("10a1")
+
+    def test_identifiers_enumeration(self):
+        space = IdentifierSpace(3)
+        assert list(space.identifiers()) == list(range(8))
+
+    def test_sample_respects_exclusions(self, rng):
+        space = IdentifierSpace(3)
+        excluded = list(range(7))
+        samples = space.sample(rng, count=10, exclude=excluded)
+        assert all(s == 7 for s in samples)
+
+    def test_sample_rejects_full_exclusion(self, rng):
+        space = IdentifierSpace(2)
+        with pytest.raises(InvalidParameterError):
+            space.sample(rng, count=1, exclude=[0, 1, 2, 3])
+
+    def test_distance_wrappers_agree_with_functions(self):
+        space = IdentifierSpace(6)
+        a, b = 13, 44
+        assert space.ring_distance(a, b) == ring_distance(a, b, 64)
+        assert space.xor_distance(a, b) == xor_distance(a, b)
+        assert space.hamming_distance(a, b) == hamming_distance(a, b)
+        assert space.common_prefix_length(a, b) == common_prefix_length(a, b, 6)
+        assert space.highest_differing_bit(a, b) == highest_differing_bit(a, b, 6)

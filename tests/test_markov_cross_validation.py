@@ -1,0 +1,129 @@
+"""Cross-validation: the closed-form Q(m)/p(h, q) expressions used by the analytical
+core must agree with absorption probabilities computed from the explicitly
+constructed Markov chains of the paper's figures.
+
+This is the reproduction's main defence against a transcription error in any
+of the paper's equations: the two computations share no code beyond the
+probability parameters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.geometry import get_geometry
+from repro.markov import (
+    hypercube_routing_chain,
+    phase_success_probability,
+    ring_routing_chain,
+    routing_success_probability,
+    symphony_routing_chain,
+    tree_routing_chain,
+    xor_routing_chain,
+)
+
+FAILURE_PROBABILITIES = (0.05, 0.2, 0.5, 0.8)
+DISTANCES = (1, 2, 4, 6)
+
+
+def closed_form_path_success(geometry_name: str, h: int, q: float, d: int) -> float:
+    """p(h, q) assembled from the geometry's closed-form Q(m) values."""
+    geometry = get_geometry(geometry_name)
+    return math.prod(1.0 - geometry.phase_failure_probability(m, q, d) for m in range(1, h + 1))
+
+
+@pytest.mark.parametrize("q", FAILURE_PROBABILITIES)
+@pytest.mark.parametrize("h", DISTANCES)
+class TestPathSuccessAgainstChains:
+    def test_tree(self, q, h):
+        chain = tree_routing_chain(h, q)
+        assert closed_form_path_success("tree", h, q, 16) == pytest.approx(
+            routing_success_probability(chain, h), abs=1e-12
+        )
+
+    def test_hypercube(self, q, h):
+        chain = hypercube_routing_chain(h, q)
+        assert closed_form_path_success("hypercube", h, q, 16) == pytest.approx(
+            routing_success_probability(chain, h), abs=1e-12
+        )
+
+    def test_xor(self, q, h):
+        chain = xor_routing_chain(h, q)
+        assert closed_form_path_success("xor", h, q, 16) == pytest.approx(
+            routing_success_probability(chain, h), abs=1e-9
+        )
+
+    def test_ring(self, q, h):
+        chain = ring_routing_chain(h, q)
+        assert closed_form_path_success("ring", h, q, 16) == pytest.approx(
+            routing_success_probability(chain, h), abs=1e-9
+        )
+
+
+@pytest.mark.parametrize("q", FAILURE_PROBABILITIES)
+class TestPerPhaseFailureAgainstChains:
+    def test_xor_phase_failure(self, q):
+        geometry = get_geometry("xor")
+        h = 6
+        chain = xor_routing_chain(h, q)
+        for completed_phases in range(h):
+            remaining = h - completed_phases
+            expected = 1.0 - geometry.phase_failure_probability(remaining, q, 16)
+            assert phase_success_probability(chain, completed_phases) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_ring_phase_failure(self, q):
+        geometry = get_geometry("ring")
+        h = 5
+        chain = ring_routing_chain(h, q)
+        for completed_phases in range(h):
+            remaining = h - completed_phases
+            expected = 1.0 - geometry.phase_failure_probability(remaining, q, 16)
+            assert phase_success_probability(chain, completed_phases) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_symphony_phase_failure(self, q):
+        d = 12
+        geometry = get_geometry("smallworld")
+        chain = symphony_routing_chain(3, q, d=d)
+        expected = 1.0 - geometry.phase_failure_probability(1, q, d)
+        assert phase_success_probability(chain, 0) == pytest.approx(expected, abs=1e-9)
+
+    def test_symphony_phase_failure_with_extra_links(self, q):
+        d = 12
+        geometry = get_geometry("smallworld", near_neighbors=2, shortcuts=3)
+        chain = symphony_routing_chain(3, q, d=d, near_neighbors=2, shortcuts=3)
+        expected = 1.0 - geometry.phase_failure_probability(1, q, d)
+        assert phase_success_probability(chain, 0) == pytest.approx(expected, abs=1e-9)
+
+
+@pytest.mark.parametrize("q", FAILURE_PROBABILITIES)
+class TestRingWithExplicitCap:
+    def test_capped_ring_matches_capped_chain(self, q):
+        from repro.core.geometries.ring import RingGeometry
+
+        cap = 3
+        geometry = RingGeometry(max_suboptimal_hops=cap)
+        h = 5
+        chain = ring_routing_chain(h, q, max_suboptimal_hops=cap)
+        closed = math.prod(
+            1.0 - geometry.phase_failure_probability(m, q, 16) for m in range(1, h + 1)
+        )
+        assert closed == pytest.approx(routing_success_probability(chain, h), abs=1e-9)
+
+
+class TestSymphonyFullPath:
+    @pytest.mark.parametrize("q", [0.1, 0.4])
+    def test_multi_phase_success(self, q):
+        d = 10
+        h = 4
+        geometry = get_geometry("smallworld")
+        chain = symphony_routing_chain(h, q, d=d)
+        closed = math.prod(
+            1.0 - geometry.phase_failure_probability(m, q, d) for m in range(1, h + 1)
+        )
+        assert closed == pytest.approx(routing_success_probability(chain, h), abs=1e-9)

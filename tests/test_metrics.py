@@ -1,0 +1,116 @@
+"""Tests for routing-metrics aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht.metrics import RoutingMetrics, summarize_routes, wilson_interval
+from repro.dht.routing import FailureReason, RouteResult
+from repro.exceptions import InvalidParameterError
+
+
+def success(source, destination, hops=2):
+    path = (source,) + tuple(range(1000, 1000 + hops - 1)) + (destination,)
+    return RouteResult(source=source, destination=destination, succeeded=True, path=path)
+
+
+def failure(source, destination, hops=1, reason=FailureReason.DEAD_END):
+    path = (source,) + tuple(range(2000, 2000 + hops))
+    return RouteResult(
+        source=source, destination=destination, succeeded=False, path=path, failure_reason=reason
+    )
+
+
+class TestWilsonInterval:
+    def test_interval_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_interval_bounds_are_probabilities(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.2
+
+    def test_zero_trials_is_uninformative(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_more_trials_tighten_the_interval(self):
+        narrow = wilson_interval(800, 1000)
+        wide = wilson_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(5, 3)
+
+
+class TestSummarizeRoutes:
+    def test_empty_input(self):
+        metrics = summarize_routes([])
+        assert metrics.attempts == 0
+        assert math.isnan(metrics.routability)
+        assert math.isnan(metrics.failed_path_fraction)
+
+    def test_counts_and_fractions(self):
+        results = [success(0, 5), success(1, 6), failure(2, 7), failure(3, 8)]
+        metrics = summarize_routes(results)
+        assert metrics.attempts == 4
+        assert metrics.successes == 2
+        assert metrics.failures == 2
+        assert metrics.routability == pytest.approx(0.5)
+        assert metrics.failed_path_fraction == pytest.approx(0.5)
+
+    def test_mean_hops(self):
+        results = [success(0, 5, hops=2), success(1, 6, hops=4), failure(2, 7, hops=3)]
+        metrics = summarize_routes(results)
+        assert metrics.mean_hops_successful == pytest.approx(3.0)
+        assert metrics.mean_hops_failed == pytest.approx(3.0)
+
+    def test_failure_reasons_are_tallied(self):
+        results = [
+            failure(0, 1, reason=FailureReason.DEAD_END),
+            failure(2, 3, reason=FailureReason.DEAD_END),
+            failure(4, 5, reason=FailureReason.REQUIRED_NEIGHBOR_FAILED),
+        ]
+        metrics = summarize_routes(results)
+        assert metrics.failure_reasons[FailureReason.DEAD_END] == 2
+        assert metrics.failure_reasons[FailureReason.REQUIRED_NEIGHBOR_FAILED] == 1
+
+    def test_all_successes_have_nan_failed_hops(self):
+        metrics = summarize_routes([success(0, 5)])
+        assert math.isnan(metrics.mean_hops_failed)
+
+    def test_confidence_interval_brackets_routability(self):
+        results = [success(0, 5)] * 30 + [failure(1, 6)] * 10
+        metrics = summarize_routes(results)
+        low, high = metrics.routability_confidence_interval
+        assert low < metrics.routability < high
+
+
+class TestMerging:
+    def test_merged_counts(self):
+        first = summarize_routes([success(0, 5), failure(1, 6)])
+        second = summarize_routes([success(2, 7), success(3, 8)])
+        merged = first.merged_with(second)
+        assert merged.attempts == 4
+        assert merged.successes == 3
+        assert merged.routability == pytest.approx(0.75)
+
+    def test_merged_mean_hops_is_weighted(self):
+        first = summarize_routes([success(0, 5, hops=2)])
+        second = summarize_routes([success(1, 6, hops=4), success(2, 7, hops=4)])
+        merged = first.merged_with(second)
+        assert merged.mean_hops_successful == pytest.approx((2 + 4 + 4) / 3)
+
+    def test_merged_failure_reasons(self):
+        first = summarize_routes([failure(0, 1, reason=FailureReason.DEAD_END)])
+        second = summarize_routes([failure(2, 3, reason=FailureReason.DEAD_END)])
+        merged = first.merged_with(second)
+        assert merged.failure_reasons[FailureReason.DEAD_END] == 2
+
+    def test_merge_rejects_other_types(self):
+        metrics = summarize_routes([success(0, 5)])
+        with pytest.raises(InvalidParameterError):
+            metrics.merged_with("not metrics")

@@ -1,0 +1,94 @@
+"""Tests specific to the hypercube (CAN) overlay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.can import HypercubeOverlay
+from repro.dht.identifiers import hamming_distance
+from repro.dht.routing import FailureReason
+
+D = 7
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return HypercubeOverlay.build(D)
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestTopology:
+    def test_every_node_has_d_neighbors(self, overlay):
+        for node in (0, 1, 63, 127):
+            assert len(overlay.neighbors(node)) == D
+
+    def test_neighbors_are_at_hamming_distance_one(self, overlay):
+        for node in (0, 42, 127):
+            for neighbor in overlay.neighbors(node):
+                assert hamming_distance(node, neighbor) == 1
+
+    def test_adjacency_is_symmetric(self, overlay):
+        for node in (3, 64, 100):
+            for neighbor in overlay.neighbors(node):
+                assert node in overlay.neighbors(neighbor)
+
+
+class TestRouting:
+    def test_hop_count_equals_hamming_distance(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(40):
+            source, destination = rng.choice(overlay.n_nodes, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            assert result.hops == hamming_distance(int(source), int(destination))
+
+    def test_random_tie_breaking_also_delivers(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(20):
+            source, destination = rng.choice(overlay.n_nodes, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive, rng=rng)
+            assert result.succeeded
+            assert result.hops == hamming_distance(int(source), int(destination))
+
+    def test_progressing_neighbors_counts_differing_bits(self, overlay):
+        alive = all_alive(overlay)
+        source, destination = 0, 0b0000111
+        candidates = overlay.progressing_neighbors(source, destination, alive)
+        assert len(candidates) == 3
+        for candidate in candidates:
+            assert hamming_distance(candidate, destination) == 2
+
+    def test_route_survives_single_neighbor_failure(self, overlay):
+        # Destination three bits away: even with one progressing neighbour dead,
+        # two alternatives remain for the first hop.
+        source, destination = 0, 0b0000111
+        alive = all_alive(overlay)
+        alive[0b0000100] = False
+        result = overlay.route(source, destination, alive)
+        assert result.succeeded
+
+    def test_route_fails_when_all_progressing_neighbors_are_dead(self, overlay):
+        source, destination = 0, 0b0000011
+        alive = all_alive(overlay)
+        alive[0b0000001] = False
+        alive[0b0000010] = False
+        result = overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.failure_reason is FailureReason.DEAD_END
+
+    def test_last_hop_only_needs_the_destination(self, overlay):
+        # At Hamming distance one the only progressing neighbour is the destination
+        # itself, which is alive by assumption.
+        source, destination = 0, 0b1000000
+        alive = all_alive(overlay)
+        # Kill every other neighbour of the source.
+        for neighbor in overlay.neighbors(source):
+            if neighbor != destination:
+                alive[neighbor] = False
+        result = overlay.route(source, destination, alive)
+        assert result.succeeded
+        assert result.hops == 1

@@ -1,0 +1,110 @@
+"""Tests specific to the Chord (ring) overlay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordOverlay
+from repro.dht.identifiers import ring_distance
+from repro.dht.routing import FailureReason
+from repro.exceptions import TopologyError
+
+D = 7
+N = 1 << D
+
+
+@pytest.fixture(scope="module")
+def randomized_overlay():
+    return ChordOverlay.build(D, seed=5)
+
+
+@pytest.fixture(scope="module")
+def deterministic_overlay():
+    return ChordOverlay.build(D, finger_mode="deterministic")
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestFingerConstruction:
+    def test_randomized_fingers_land_in_their_ranges(self, randomized_overlay):
+        for node in (0, 31, 100, 127):
+            for index in range(1, D + 1):
+                finger = randomized_overlay.finger(node, index)
+                distance = ring_distance(node, finger, N)
+                assert 2 ** (D - index) <= distance < 2 ** (D - index + 1)
+
+    def test_deterministic_fingers_sit_at_powers_of_two(self, deterministic_overlay):
+        for node in (0, 20, 127):
+            for index in range(1, D + 1):
+                finger = deterministic_overlay.finger(node, index)
+                assert ring_distance(node, finger, N) == 2 ** (D - index)
+
+    def test_last_finger_is_the_successor(self, randomized_overlay):
+        for node in (0, 64, 127):
+            assert randomized_overlay.finger(node, D) == (node + 1) % N
+
+    def test_unknown_finger_mode_rejected(self):
+        with pytest.raises(TopologyError):
+            ChordOverlay.build(4, finger_mode="wild")
+
+    def test_finger_index_validation(self, randomized_overlay):
+        with pytest.raises(TopologyError):
+            randomized_overlay.finger(0, 0)
+
+
+class TestRouting:
+    def test_ring_distance_strictly_decreases_along_the_path(self, randomized_overlay, rng):
+        alive = all_alive(randomized_overlay)
+        for _ in range(40):
+            source, destination = rng.choice(N, size=2, replace=False)
+            result = randomized_overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            distances = [ring_distance(node, int(destination), N) for node in result.path]
+            assert all(b < a for a, b in zip(distances, distances[1:]))
+
+    def test_routing_never_overshoots_the_destination(self, randomized_overlay, rng):
+        alive = all_alive(randomized_overlay)
+        for _ in range(30):
+            source, destination = rng.choice(N, size=2, replace=False)
+            result = randomized_overlay.route(int(source), int(destination), alive)
+            total = ring_distance(int(source), int(destination), N)
+            travelled = sum(
+                ring_distance(a, b, N) for a, b in zip(result.path, result.path[1:])
+            )
+            assert travelled == total
+
+    def test_deterministic_variant_uses_logarithmic_hops(self, deterministic_overlay, rng):
+        alive = all_alive(deterministic_overlay)
+        for _ in range(30):
+            source, destination = rng.choice(N, size=2, replace=False)
+            result = deterministic_overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            assert result.hops <= D
+
+    def test_suboptimal_progress_is_preserved(self, deterministic_overlay):
+        # Kill the finger that covers half the ring: routing falls back to the
+        # quarter-ring finger but the distance already covered is not lost.
+        source = 0
+        destination = (N - 1)
+        alive = all_alive(deterministic_overlay)
+        half_finger = deterministic_overlay.finger(source, 1)
+        if half_finger != destination:
+            alive[half_finger] = False
+            result = deterministic_overlay.route(source, destination, alive)
+            assert result.succeeded
+            assert result.hops <= 2 * D
+
+    def test_route_fails_when_no_finger_makes_progress(self, deterministic_overlay):
+        source = 0
+        destination = 3
+        alive = all_alive(deterministic_overlay)
+        # The only fingers that do not overshoot a destination 3 steps away are the
+        # successor (distance 1) and the distance-2 finger; kill both.
+        alive[1] = False
+        alive[2] = False
+        result = deterministic_overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.failure_reason is FailureReason.DEAD_END

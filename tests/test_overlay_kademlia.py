@@ -1,0 +1,97 @@
+"""Tests specific to the Kademlia (XOR) overlay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.identifiers import common_prefix_length, xor_distance
+from repro.dht.kademlia import KademliaOverlay
+from repro.dht.routing import FailureReason
+from repro.exceptions import TopologyError
+
+D = 7
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return KademliaOverlay.build(D, seed=21)
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestTableConstruction:
+    def test_bucket_entries_land_in_the_right_xor_range(self, overlay):
+        for node in (0, 17, 99, 127):
+            for bucket in range(1, D + 1):
+                neighbor = overlay.neighbor_for_bucket(node, bucket)
+                distance = xor_distance(node, neighbor)
+                assert 2 ** (D - bucket) <= distance < 2 ** (D - bucket + 1)
+
+    def test_bucket_entries_share_prefix_and_flip_bucket_bit(self, overlay):
+        for node in (5, 80, 127):
+            for bucket in range(1, D + 1):
+                neighbor = overlay.neighbor_for_bucket(node, bucket)
+                assert common_prefix_length(node, neighbor, D) == bucket - 1
+
+    def test_bucket_index_validation(self, overlay):
+        with pytest.raises(TopologyError):
+            overlay.neighbor_for_bucket(0, 0)
+        with pytest.raises(TopologyError):
+            overlay.neighbor_for_bucket(0, D + 1)
+
+    def test_different_seeds_give_different_tables(self):
+        first = KademliaOverlay.build(D, seed=1)
+        second = KademliaOverlay.build(D, seed=2)
+        differences = sum(
+            first.neighbors(node) != second.neighbors(node) for node in range(first.n_nodes)
+        )
+        assert differences > 0
+
+
+class TestRouting:
+    def test_xor_distance_strictly_decreases_along_the_path(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(40):
+            source, destination = rng.choice(overlay.n_nodes, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            distances = [xor_distance(node, int(destination)) for node in result.path]
+            assert all(b < a for a, b in zip(distances, distances[1:]))
+
+    def test_falls_back_to_lower_order_bits_when_optimal_neighbor_dies(self, overlay):
+        # Choose a destination whose optimal (highest-bucket) neighbour we can kill
+        # while a lower-order fallback still exists.
+        source = 0
+        destination = 0b1100000
+        alive = all_alive(overlay)
+        optimal = overlay.neighbor_for_bucket(source, 1)
+        if optimal == destination:
+            pytest.skip("random table happens to link the source straight to the destination")
+        alive[optimal] = False
+        result = overlay.route(source, destination, alive)
+        if result.succeeded:
+            # The first hop cannot be the dead optimal neighbour.
+            assert result.path[1] != optimal
+        else:
+            assert result.failure_reason is FailureReason.DEAD_END
+
+    def test_route_fails_only_at_a_dead_end(self, overlay):
+        source, destination = 0, 1
+        alive = all_alive(overlay)
+        # Kill every neighbour of the source that would make progress towards 1.
+        for neighbor in overlay.neighbors(source):
+            if xor_distance(neighbor, destination) < xor_distance(source, destination):
+                alive[neighbor] = False
+        if alive[destination]:
+            result = overlay.route(source, destination, alive)
+            assert not result.succeeded
+            assert result.failure_reason is FailureReason.DEAD_END
+
+    def test_direct_neighbor_is_used_for_the_last_bit(self, overlay):
+        # The bucket-D neighbour is deterministic: it differs only in the last bit.
+        source = 0b0101010
+        neighbor = overlay.neighbor_for_bucket(source, D)
+        assert xor_distance(source, neighbor) == 1

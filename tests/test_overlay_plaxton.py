@@ -1,0 +1,102 @@
+"""Tests specific to the Plaxton-tree overlay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.identifiers import common_prefix_length, hamming_distance
+from repro.dht.plaxton import PlaxtonOverlay
+from repro.dht.routing import FailureReason
+from repro.exceptions import TopologyError
+
+D = 7
+
+
+@pytest.fixture(scope="module")
+def matched_overlay():
+    return PlaxtonOverlay.build(D)
+
+
+@pytest.fixture(scope="module")
+def random_suffix_overlay():
+    return PlaxtonOverlay.build(D, table_mode="random-suffix", seed=3)
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestTableConstruction:
+    def test_matched_suffix_entry_flips_exactly_one_bit(self, matched_overlay):
+        for node in (0, 17, 100, 127):
+            for position in range(1, D + 1):
+                neighbor = matched_overlay.neighbor_for_bit(node, position)
+                assert hamming_distance(node, neighbor) == 1
+
+    def test_entries_share_the_required_prefix(self, random_suffix_overlay):
+        for node in (0, 5, 77, 127):
+            for position in range(1, D + 1):
+                neighbor = random_suffix_overlay.neighbor_for_bit(node, position)
+                assert common_prefix_length(node, neighbor, D) == position - 1
+
+    def test_unknown_table_mode_rejected(self):
+        with pytest.raises(TopologyError):
+            PlaxtonOverlay.build(4, table_mode="bogus")
+
+    def test_neighbor_for_bit_validates_position(self, matched_overlay):
+        with pytest.raises(TopologyError):
+            matched_overlay.neighbor_for_bit(0, D + 1)
+
+    def test_table_mode_property(self, matched_overlay, random_suffix_overlay):
+        assert matched_overlay.table_mode == "matched-suffix"
+        assert random_suffix_overlay.table_mode == "random-suffix"
+
+
+class TestRouting:
+    def test_hop_count_equals_hamming_distance_in_matched_mode(self, matched_overlay, rng):
+        alive = all_alive(matched_overlay)
+        for _ in range(40):
+            source, destination = rng.choice(matched_overlay.n_nodes, size=2, replace=False)
+            result = matched_overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            assert result.hops == hamming_distance(int(source), int(destination))
+
+    def test_random_suffix_mode_still_delivers_without_failures(self, random_suffix_overlay, rng):
+        alive = all_alive(random_suffix_overlay)
+        for _ in range(40):
+            source, destination = rng.choice(random_suffix_overlay.n_nodes, size=2, replace=False)
+            result = random_suffix_overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            assert result.hops <= D
+
+    def test_killing_the_required_neighbor_drops_the_message(self, matched_overlay):
+        source, destination = 0, 0b1100000  # differs in bits 1 and 2
+        alive = all_alive(matched_overlay)
+        required_first_hop = matched_overlay.neighbor_for_bit(source, 1)
+        alive[required_first_hop] = False
+        result = matched_overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.failure_reason is FailureReason.REQUIRED_NEIGHBOR_FAILED
+        assert result.hops == 0
+
+    def test_killing_an_irrelevant_neighbor_does_not_matter(self, matched_overlay):
+        source, destination = 0, 0b1000000  # only bit 1 differs
+        alive = all_alive(matched_overlay)
+        # Kill the neighbour for bit 2, which this route never needs.
+        alive[matched_overlay.neighbor_for_bit(source, 2)] = False
+        result = matched_overlay.route(source, destination, alive)
+        assert result.succeeded
+        assert result.hops == 1
+
+    def test_failure_mid_route_reports_partial_path(self, matched_overlay):
+        source = 0
+        destination = 0b1110000  # bits 1-3 differ, so the second hop is not the destination
+        alive = all_alive(matched_overlay)
+        first_hop = matched_overlay.neighbor_for_bit(source, 1)
+        second_hop = matched_overlay.neighbor_for_bit(first_hop, 2)
+        assert second_hop != destination
+        alive[second_hop] = False
+        result = matched_overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.path == (source, first_hop)

@@ -1,0 +1,124 @@
+"""Tests specific to the Symphony (small-world) overlay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht.identifiers import ring_distance
+from repro.dht.routing import FailureReason
+from repro.dht.symphony import SymphonyOverlay, harmonic_distances
+from repro.exceptions import TopologyError
+
+D = 7
+N = 1 << D
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return SymphonyOverlay.build(D, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dense_overlay():
+    return SymphonyOverlay.build(D, near_neighbors=2, shortcuts=3, seed=13)
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestHarmonicDistances:
+    def test_distances_are_within_the_ring(self, rng):
+        distances = harmonic_distances(5000, N, rng)
+        assert distances.min() >= 1
+        assert distances.max() <= N - 1
+
+    def test_distribution_is_biased_towards_short_links(self, rng):
+        distances = harmonic_distances(20000, N, rng)
+        short = np.sum(distances <= np.sqrt(N))
+        # Under the harmonic law about half of the links fall below sqrt(N).
+        assert 0.35 <= short / len(distances) <= 0.65
+
+    def test_rejects_tiny_ring(self, rng):
+        with pytest.raises(TopologyError):
+            harmonic_distances(10, 1, rng)
+
+
+class TestConstruction:
+    def test_link_counts(self, overlay, dense_overlay):
+        assert overlay.near_neighbor_count == 1
+        assert overlay.shortcut_count == 1
+        assert dense_overlay.near_neighbor_count == 2
+        assert dense_overlay.shortcut_count == 3
+        assert len(dense_overlay.neighbors(0)) == 5
+
+    def test_near_neighbors_are_successors(self, dense_overlay):
+        for node in (0, 50, 127):
+            assert dense_overlay.near_neighbors_of(node) == ((node + 1) % N, (node + 2) % N)
+
+    def test_shortcuts_stay_on_the_ring(self, overlay):
+        for node in (0, 31, 127):
+            for shortcut in overlay.shortcuts_of(node):
+                assert 0 <= shortcut < N
+                assert shortcut != node
+
+    def test_rejects_too_many_near_neighbors(self):
+        with pytest.raises(TopologyError):
+            SymphonyOverlay.build(2, near_neighbors=10, shortcuts=1, seed=1)
+
+    def test_rejects_non_positive_link_counts(self):
+        with pytest.raises(Exception):
+            SymphonyOverlay.build(4, near_neighbors=0, shortcuts=1, seed=1)
+
+
+class TestRouting:
+    def test_delivers_without_failures(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(30):
+            source, destination = rng.choice(N, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+
+    def test_never_overshoots(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(20):
+            source, destination = rng.choice(N, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive)
+            travelled = sum(
+                ring_distance(a, b, N) for a, b in zip(result.path, result.path[1:])
+            )
+            assert travelled == ring_distance(int(source), int(destination), N)
+
+    def test_more_links_mean_fewer_hops_on_average(self, overlay, dense_overlay, rng):
+        alive_sparse = all_alive(overlay)
+        alive_dense = all_alive(dense_overlay)
+        pairs = [tuple(rng.choice(N, size=2, replace=False)) for _ in range(60)]
+        sparse_hops = np.mean(
+            [overlay.route(int(s), int(t), alive_sparse).hops for s, t in pairs]
+        )
+        dense_hops = np.mean(
+            [dense_overlay.route(int(s), int(t), alive_dense).hops for s, t in pairs]
+        )
+        assert dense_hops < sparse_hops
+
+    def test_dead_successor_and_useless_shortcut_drop_the_message(self, overlay):
+        # Find a node whose shortcut overshoots a nearby destination, kill its
+        # successor, and confirm the message is dropped there.
+        alive = all_alive(overlay)
+        source = None
+        for candidate in range(N):
+            successor = overlay.near_neighbors_of(candidate)[0]
+            shortcut = overlay.shortcuts_of(candidate)[0]
+            if ring_distance(candidate, shortcut, N) > 2:
+                source = candidate
+                destination = (candidate + 2) % N
+                alive[successor] = False
+                break
+        assert source is not None
+        result = overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.failure_reason is FailureReason.DEAD_END
+
+    def test_hop_limit_scales_with_network_size(self, overlay):
+        assert overlay.hop_limit() >= overlay.n_nodes

@@ -1,0 +1,93 @@
+"""Tests for RouteResult / RouteTrace invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.routing import FailureReason, RouteResult, RouteTrace
+from repro.exceptions import RoutingError
+
+
+class TestRouteResult:
+    def test_successful_route_properties(self):
+        result = RouteResult(source=1, destination=4, succeeded=True, path=(1, 3, 4))
+        assert result.hops == 2
+        assert result.reached_identifier == 4
+        assert result.failure_reason is FailureReason.NONE
+
+    def test_failed_route_properties(self):
+        result = RouteResult(
+            source=1,
+            destination=4,
+            succeeded=False,
+            path=(1, 3),
+            failure_reason=FailureReason.DEAD_END,
+        )
+        assert result.hops == 1
+        assert result.reached_identifier == 3
+
+    def test_successful_route_rejects_failure_reason(self):
+        with pytest.raises(RoutingError):
+            RouteResult(
+                source=1,
+                destination=2,
+                succeeded=True,
+                path=(1, 2),
+                failure_reason=FailureReason.DEAD_END,
+            )
+
+    def test_failed_route_requires_failure_reason(self):
+        with pytest.raises(RoutingError):
+            RouteResult(source=1, destination=2, succeeded=False, path=(1,))
+
+    def test_path_must_start_at_source(self):
+        with pytest.raises(RoutingError):
+            RouteResult(source=1, destination=2, succeeded=True, path=(3, 2))
+
+    def test_successful_path_must_end_at_destination(self):
+        with pytest.raises(RoutingError):
+            RouteResult(source=1, destination=2, succeeded=True, path=(1, 3))
+
+
+class TestRouteTrace:
+    def test_success_flow(self):
+        trace = RouteTrace(0, 5, hop_limit=10)
+        trace.advance(3)
+        trace.advance(5)
+        result = trace.success()
+        assert result.succeeded
+        assert result.path == (0, 3, 5)
+        assert result.hops == 2
+
+    def test_failure_flow(self):
+        trace = RouteTrace(0, 5, hop_limit=10)
+        trace.advance(3)
+        result = trace.failure(FailureReason.DEAD_END)
+        assert not result.succeeded
+        assert result.path == (0, 3)
+        assert result.failure_reason is FailureReason.DEAD_END
+
+    def test_failure_reason_none_rejected(self):
+        trace = RouteTrace(0, 5, hop_limit=10)
+        with pytest.raises(RoutingError):
+            trace.failure(FailureReason.NONE)
+
+    def test_hop_budget_enforced(self):
+        trace = RouteTrace(0, 5, hop_limit=2)
+        trace.advance(1)
+        trace.advance(2)
+        assert trace.hop_budget_exhausted
+        with pytest.raises(RoutingError):
+            trace.advance(3)
+
+    def test_non_positive_hop_limit_rejected(self):
+        with pytest.raises(RoutingError):
+            RouteTrace(0, 5, hop_limit=0)
+
+    def test_current_and_path_views(self):
+        trace = RouteTrace(7, 2, hop_limit=4)
+        assert trace.current == 7
+        trace.advance(3)
+        assert trace.current == 3
+        assert trace.path == (7, 3)
+        assert trace.hops_taken == 1

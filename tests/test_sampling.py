@@ -1,0 +1,55 @@
+"""Tests for survivor-pair sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim.sampling import all_survivor_pairs, sample_survivor_pairs
+
+
+class TestSampleSurvivorPairs:
+    def test_pairs_are_distinct_and_alive(self, rng):
+        alive = np.zeros(64, dtype=bool)
+        alive[[1, 5, 9, 30, 63]] = True
+        pairs = sample_survivor_pairs(alive, 200, rng)
+        assert len(pairs) == 200
+        for source, destination in pairs:
+            assert source != destination
+            assert alive[source] and alive[destination]
+
+    def test_two_survivors_always_give_the_same_pair(self, rng):
+        alive = np.zeros(16, dtype=bool)
+        alive[[3, 12]] = True
+        pairs = sample_survivor_pairs(alive, 20, rng)
+        assert set(pairs) <= {(3, 12), (12, 3)}
+
+    def test_fewer_than_two_survivors_rejected(self, rng):
+        alive = np.zeros(16, dtype=bool)
+        alive[3] = True
+        with pytest.raises(InvalidParameterError):
+            sample_survivor_pairs(alive, 5, rng)
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sample_survivor_pairs(np.ones(8, dtype=bool), 0, rng)
+
+    def test_sampling_is_roughly_uniform(self, rng):
+        alive = np.ones(8, dtype=bool)
+        pairs = sample_survivor_pairs(alive, 8000, rng)
+        sources = np.array([s for s, _ in pairs])
+        counts = np.bincount(sources, minlength=8)
+        assert counts.min() > 0.7 * counts.mean()
+
+
+class TestAllSurvivorPairs:
+    def test_enumerates_ordered_pairs(self):
+        alive = np.array([True, False, True, True])
+        pairs = all_survivor_pairs(alive)
+        assert set(pairs) == {(0, 2), (0, 3), (2, 0), (2, 3), (3, 0), (3, 2)}
+
+    def test_limit_guard(self):
+        alive = np.ones(2000, dtype=bool)
+        with pytest.raises(InvalidParameterError):
+            all_survivor_pairs(alive, limit=1000)

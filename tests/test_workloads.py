@@ -1,0 +1,84 @@
+"""Tests for sweep grids and workload specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.workloads.generators import (
+    PairWorkload,
+    failure_probability_grid,
+    paper_failure_probabilities,
+    paper_system_sizes,
+    system_size_grid,
+)
+
+
+class TestFailureProbabilityGrid:
+    def test_default_grid_matches_paper_range(self):
+        grid = failure_probability_grid()
+        assert grid[0] == 0.0
+        assert grid[-1] == 0.9
+        assert len(grid) == 10
+
+    def test_custom_step(self):
+        assert failure_probability_grid(0.0, 0.2, 0.05) == (0.0, 0.05, 0.1, 0.15, 0.2)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(InvalidParameterError):
+            failure_probability_grid(0.0, 0.5, 0.0)
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            failure_probability_grid(0.5, 0.1, 0.1)
+
+    def test_paper_grid_fast_and_full(self):
+        full = paper_failure_probabilities()
+        fast = paper_failure_probabilities(fast=True)
+        assert len(fast) < len(full)
+        assert full[0] == fast[0] == 0.0
+        assert max(full) == max(fast) == 0.9
+        assert all(0.0 <= q <= 0.9 for q in full)
+
+
+class TestSystemSizeGrid:
+    def test_powers_of_two(self):
+        assert system_size_grid(4, 7) == (16, 32, 64, 128)
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            system_size_grid(8, 4)
+
+    def test_paper_sizes_reach_billions(self):
+        sizes = paper_system_sizes()
+        assert sizes[0] == 16
+        assert sizes[-1] >= 10**10
+        fast = paper_system_sizes(fast=True)
+        assert len(fast) < len(sizes)
+
+
+class TestPairWorkload:
+    def test_defaults_are_positive(self):
+        workload = PairWorkload()
+        assert workload.pairs > 0
+        assert workload.trials > 0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PairWorkload(pairs=0)
+        with pytest.raises(InvalidParameterError):
+            PairWorkload(trials=-1)
+
+    def test_derived_seed_is_deterministic_and_label_dependent(self):
+        workload = PairWorkload(seed=1234)
+        assert workload.derived_seed("fig6a-tree") == workload.derived_seed("fig6a-tree")
+        assert workload.derived_seed("fig6a-tree") != workload.derived_seed("fig6a-xor")
+
+    def test_scaled_keeps_at_least_one_pair(self):
+        workload = PairWorkload(pairs=10)
+        assert workload.scaled(0.001).pairs == 1
+        assert workload.scaled(2.0).pairs == 20
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(InvalidParameterError):
+            PairWorkload().scaled(0.0)
