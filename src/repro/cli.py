@@ -12,19 +12,23 @@ Subcommands
     Print the Section 5 scalability classification.
 ``rcm simulate --geometry ring --d 10 --q 0.1 0.3 --pairs 1000``
     Run the Monte-Carlo overlay simulator and print measured routability.
+    ``--engine batch|scalar`` selects the vectorized batch engine (default)
+    or the scalar oracle path; ``--workers N`` fans the sweep across worker
+    processes and ``--batch-size`` bounds the engine's per-batch memory.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .core.geometry import list_geometries
 from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
+from .sim.engine import SweepRunner
 from .sim.static_resilience import simulate_geometry
 from .workloads.generators import PairWorkload
 
@@ -55,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--pairs", type=int, default=2000, help="Monte-Carlo pairs per trial")
     run_parser.add_argument("--trials", type=int, default=3, help="failure patterns per point")
     run_parser.add_argument("--seed", type=int, default=PairWorkload().seed, help="base random seed")
+    _add_engine_arguments(run_parser)
 
     routability_parser = subparsers.add_parser(
         "routability", help="evaluate the analytical routability of one geometry"
@@ -80,7 +85,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--pairs", type=int, default=1000)
     simulate_parser.add_argument("--trials", type=int, default=3)
     simulate_parser.add_argument("--seed", type=int, default=PairWorkload().seed)
+    _add_engine_arguments(simulate_parser)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine-related options shared by the simulation-backed subcommands."""
+    parser.add_argument(
+        "--engine",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="route pairs through the vectorized batch engine (default) or the scalar oracle path",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep fan-out (batch engine only; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="pairs routed per engine batch (default: all at once; lower it to bound memory)",
+    )
 
 
 def _command_list() -> str:
@@ -95,6 +123,9 @@ def _command_run(arguments: argparse.Namespace) -> str:
     config = ExperimentConfig(
         fast=not arguments.full,
         workload=PairWorkload(pairs=arguments.pairs, trials=arguments.trials, seed=arguments.seed),
+        workers=arguments.workers,
+        engine=arguments.engine,
+        batch_size=arguments.batch_size,
     )
     result = run_experiment(arguments.experiment_id, config)
     if arguments.csv:
@@ -123,14 +154,29 @@ def _command_compare(arguments: argparse.Namespace) -> str:
 
 
 def _command_simulate(arguments: argparse.Namespace) -> str:
-    sweep = simulate_geometry(
-        arguments.geometry,
-        arguments.d,
-        arguments.q,
-        pairs=arguments.pairs,
-        trials=arguments.trials,
-        seed=arguments.seed,
-    )
+    # The batch engine always sweeps through the SweepRunner (not the
+    # sequential-stream driver) so the printed numbers are identical for
+    # every --workers value, including the default of 1.
+    if arguments.engine == "batch":
+        runner = SweepRunner(
+            pairs=arguments.pairs,
+            replicates=arguments.trials,
+            workers=arguments.workers,
+            batch_size=arguments.batch_size,
+            base_seed=arguments.seed,
+        )
+        sweep = runner.sweep(arguments.geometry, arguments.d, arguments.q)
+    else:
+        sweep = simulate_geometry(
+            arguments.geometry,
+            arguments.d,
+            arguments.q,
+            pairs=arguments.pairs,
+            trials=arguments.trials,
+            seed=arguments.seed,
+            engine=arguments.engine,
+            batch_size=arguments.batch_size,
+        )
     rows = sweep.as_rows()
     return render_table(
         rows,

@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..validation import check_identifier_length
-from .identifiers import IdentifierSpace, hamming_distance
+from .identifiers import IdentifierSpace
 from .network import Overlay, make_rng
 from .routing import FailureReason, RouteResult, RouteTrace
 
@@ -60,6 +60,11 @@ class HypercubeOverlay(Overlay):
     def neighbors(self, node: int) -> Tuple[int, ...]:
         node = self._space.validate(node)
         return tuple(node ^ mask for mask in self._flip_masks)
+
+    def _build_neighbor_array(self) -> np.ndarray:
+        identifiers = np.arange(self.n_nodes, dtype=np.int64)
+        masks = np.asarray(self._flip_masks, dtype=np.int64)
+        return identifiers[:, None] ^ masks[None, :]
 
     def progressing_neighbors(self, node: int, destination: int, alive: np.ndarray) -> List[int]:
         """Alive neighbours of ``node`` that reduce the Hamming distance to ``destination``."""

@@ -93,6 +93,10 @@ class ChordOverlay(Overlay):
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 
+    def _build_neighbor_array(self) -> np.ndarray:
+        """Finger tables (column *i* is the finger *i + 1* entry)."""
+        return self._tables
+
     def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:
         """Greedy clockwise routing without overshooting the destination."""
         alive = self._check_route_arguments(source, destination, alive)

@@ -81,6 +81,10 @@ class KademliaOverlay(Overlay):
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 
+    def _build_neighbor_array(self) -> np.ndarray:
+        """Bucket-indexed routing tables (column *i* is the bucket *i + 1* entry)."""
+        return self._tables
+
     def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:
         """Greedy XOR routing: forward to the alive neighbour closest to the destination.
 

@@ -21,7 +21,6 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import RoutingError, TopologyError
-from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace
 from .routing import RouteResult
 
@@ -83,6 +82,33 @@ class Overlay(abc.ABC):
     @abc.abstractmethod
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Outgoing routing-table entries of ``node`` in the pristine overlay."""
+
+    def neighbor_array(self) -> np.ndarray:
+        """Every node's routing table as one ``(n_nodes, degree)`` int64 array.
+
+        Row ``i`` lists the neighbours of node ``i`` in the same order
+        :meth:`neighbors` returns them (for the tree and XOR geometries that
+        order is the bit/bucket index).  The array is cached on the overlay
+        and must be treated as read-only — it is the view the vectorized
+        batch engine (:mod:`repro.sim.engine`) routes over.  Only defined
+        for overlays whose nodes all have the same out-degree, which holds
+        for all five paper geometries.
+        """
+        cached = getattr(self, "_neighbor_array_cache", None)
+        if cached is None:
+            cached = np.asarray(self._build_neighbor_array(), dtype=np.int64)
+            self._neighbor_array_cache = cached
+        return cached
+
+    def _build_neighbor_array(self) -> np.ndarray:
+        """Materialise the table for :meth:`neighbor_array` (overridden by overlays
+        that already hold their tables as an array)."""
+        rows = [self.neighbors(node) for node in self._space.identifiers()]
+        if len({len(row) for row in rows}) != 1:
+            raise TopologyError(
+                "neighbor_array requires every node to have the same out-degree"
+            )
+        return np.asarray(rows, dtype=np.int64)
 
     @abc.abstractmethod
     def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:

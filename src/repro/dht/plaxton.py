@@ -117,6 +117,10 @@ class PlaxtonOverlay(Overlay):
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 
+    def _build_neighbor_array(self) -> np.ndarray:
+        """Bit-indexed routing tables (column *i* is the neighbour for bit *i + 1*)."""
+        return self._tables
+
     def route(self, source: int, destination: int, alive: np.ndarray) -> RouteResult:
         """Correct the highest-order differing bit each hop; drop if that neighbour failed."""
         alive = self._check_route_arguments(source, destination, alive)

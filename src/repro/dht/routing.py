@@ -14,12 +14,18 @@ that makes progress.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..exceptions import RoutingError
 
-__all__ = ["FailureReason", "RouteResult", "RouteTrace"]
+__all__ = [
+    "FailureReason",
+    "RouteResult",
+    "RouteTrace",
+    "FAILURE_CODES",
+    "failure_reason_from_code",
+]
 
 
 class FailureReason(enum.Enum):
@@ -34,6 +40,27 @@ class FailureReason(enum.Enum):
     #: The attempt exceeded the overlay's hop budget (defensive guard against
     #: cycles; should not occur for the geometries in this library).
     HOP_LIMIT_EXCEEDED = "hop-limit-exceeded"
+
+
+#: Compact integer encoding of :class:`FailureReason`, used by the vectorized
+#: batch engine (:mod:`repro.sim.engine`) to store one reason per routed pair
+#: in a small integer array instead of a Python object per attempt.
+FAILURE_CODES = {
+    FailureReason.NONE: 0,
+    FailureReason.DEAD_END: 1,
+    FailureReason.REQUIRED_NEIGHBOR_FAILED: 2,
+    FailureReason.HOP_LIMIT_EXCEEDED: 3,
+}
+
+_CODE_TO_REASON = {code: reason for reason, code in FAILURE_CODES.items()}
+
+
+def failure_reason_from_code(code: int) -> FailureReason:
+    """Decode a batch-engine failure code back into a :class:`FailureReason`."""
+    try:
+        return _CODE_TO_REASON[int(code)]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RoutingError(f"unknown failure code {code!r}") from exc
 
 
 @dataclass(frozen=True)

@@ -132,6 +132,10 @@ class SymphonyOverlay(Overlay):
         node = self._space.validate(node)
         return tuple(int(v) for v in self._near[node]) + tuple(int(v) for v in self._shortcuts[node])
 
+    def _build_neighbor_array(self) -> np.ndarray:
+        """Near neighbours and shortcuts side by side, in :meth:`neighbors` order."""
+        return np.hstack([self._near, self._shortcuts])
+
     def hop_limit(self) -> int:
         """Symphony may need up to ``O(N)`` successor hops once shortcuts have failed."""
         return max(64, 4 * self.n_nodes)

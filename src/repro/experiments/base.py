@@ -36,11 +36,22 @@ class ExperimentConfig:
         experiment's default (16 at paper scale, smaller when ``fast``).
     workload:
         Monte-Carlo pair-sampling budget for simulation-backed experiments.
+    workers:
+        Worker processes for simulation sweeps (``repro.sim.engine.SweepRunner``
+        fan-out); ``1`` runs in-process.  Results are identical for any value.
+    engine:
+        Routing engine for simulation-backed experiments: ``"batch"``
+        (vectorized, the default) or ``"scalar"`` (the per-pair oracle path).
+    batch_size:
+        Optional pair-chunk size for the batch engine (bounds peak memory).
     """
 
     fast: bool = True
     simulation_d: Optional[int] = None
     workload: PairWorkload = field(default_factory=PairWorkload)
+    workers: int = 1
+    engine: str = "batch"
+    batch_size: Optional[int] = None
 
     def resolved_simulation_d(self, *, full_default: int, fast_default: int) -> int:
         """The simulation identifier length after applying fast/full defaults."""

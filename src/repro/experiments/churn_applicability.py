@@ -59,6 +59,8 @@ class ChurnApplicability(Experiment):
                 overlay,
                 churn_config,
                 seed=workload.derived_seed(f"churn-run-{geometry_name}"),
+                engine=config.engine,
+                batch_size=config.batch_size,
             )
             absolute_errors = []
             for step in result.steps:
@@ -90,6 +92,7 @@ class ChurnApplicability(Experiment):
                 "steps_per_epoch": churn_config.steps_per_epoch,
                 "pairs_per_step": churn_config.pairs_per_step,
                 "fast": config.fast,
+                "engine": config.engine,
             },
             tables={
                 "churn_vs_static_prediction": rows,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.routability import failed_path_curve
+from ..sim.engine import SweepRunner
 from ..sim.static_resilience import simulate_geometry
 from ..workloads.generators import paper_failure_probabilities
 from .base import Experiment, ExperimentConfig, ExperimentResult
@@ -40,14 +41,26 @@ class Fig6bRingBound(Experiment):
         failure_probabilities = paper_failure_probabilities(fast=config.fast)
 
         analytical = failed_path_curve("ring", failure_probabilities, d=ANALYTICAL_D)
-        sweep = simulate_geometry(
-            "ring",
-            simulation_d,
-            failure_probabilities,
-            pairs=workload.pairs,
-            trials=workload.trials,
-            seed=workload.derived_seed("fig6b-ring"),
-        )
+        if config.engine == "batch":
+            runner = SweepRunner(
+                pairs=workload.pairs,
+                replicates=workload.trials,
+                workers=config.workers,
+                batch_size=config.batch_size,
+                base_seed=workload.derived_seed("fig6b-ring"),
+            )
+            sweep = runner.sweep("ring", simulation_d, failure_probabilities)
+        else:
+            sweep = simulate_geometry(
+                "ring",
+                simulation_d,
+                failure_probabilities,
+                pairs=workload.pairs,
+                trials=workload.trials,
+                seed=workload.derived_seed("fig6b-ring"),
+                engine=config.engine,
+                batch_size=config.batch_size,
+            )
         rows: List[Dict[str, object]] = []
         for q, analytical_value, simulated_value in zip(
             failure_probabilities, analytical.y_values, sweep.failed_path_percentages
@@ -75,6 +88,8 @@ class Fig6bRingBound(Experiment):
                 "pairs": workload.pairs,
                 "trials": workload.trials,
                 "fast": config.fast,
+                "engine": config.engine,
+                "workers": config.workers,
             },
             tables={"fig6b_failed_path_percent": rows},
             notes=notes,

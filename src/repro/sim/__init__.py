@@ -12,8 +12,16 @@ from .churn import (
     effective_failure_probability,
     simulate_churn,
 )
+from .engine import (
+    BatchRouteOutcome,
+    SweepCell,
+    SweepCellResult,
+    SweepRunner,
+    route_pairs,
+)
 from .sampling import all_survivor_pairs, sample_survivor_pairs
 from .static_resilience import (
+    ROUTING_ENGINES,
     ResilienceSweepResult,
     StaticResilienceResult,
     build_overlay,
@@ -28,8 +36,14 @@ __all__ = [
     "ChurnStepResult",
     "effective_failure_probability",
     "simulate_churn",
+    "BatchRouteOutcome",
+    "SweepCell",
+    "SweepCellResult",
+    "SweepRunner",
+    "route_pairs",
     "all_survivor_pairs",
     "sample_survivor_pairs",
+    "ROUTING_ENGINES",
     "ResilienceSweepResult",
     "StaticResilienceResult",
     "build_overlay",

@@ -39,6 +39,7 @@ from ..dht.metrics import RoutingMetrics, summarize_routes
 from ..dht.network import Overlay, make_rng
 from ..exceptions import InvalidParameterError
 from ..validation import check_positive_int, check_probability
+from .engine import check_engine, route_pairs
 from .sampling import sample_survivor_pairs
 
 __all__ = [
@@ -162,6 +163,8 @@ def simulate_churn(
     *,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    engine: str = "batch",
+    batch_size: Optional[int] = None,
 ) -> ChurnSimulationResult:
     """Simulate one repair epoch of churn on ``overlay`` and measure routability per step.
 
@@ -171,7 +174,12 @@ def simulate_churn(
     if its node was online at the repair *and* is online now, so the usable
     set shrinks over the epoch exactly as the static model's ``q_eff(t)``
     predicts.  Source/destination pairs are sampled among usable nodes.
+
+    ``engine`` selects how each step's pairs are routed: ``"batch"`` (the
+    default) runs them through the vectorized engine, ``"scalar"`` routes
+    one pair at a time; both produce identical metrics.
     """
+    engine = check_engine(engine)
     generator = make_rng(rng, seed)
     n = overlay.n_nodes
     online = np.ones(n, dtype=bool)  # state at the repair epoch
@@ -187,9 +195,15 @@ def simulate_churn(
         metrics = summarize_routes([])
         if int(usable.sum()) >= 2:
             pairs = sample_survivor_pairs(usable, config.pairs_per_step, generator)
-            metrics = summarize_routes(
-                overlay.route(source, destination, usable) for source, destination in pairs
-            )
+            if engine == "batch":
+                pair_array = np.asarray(pairs, dtype=np.int64)
+                metrics = route_pairs(
+                    overlay, pair_array[:, 0], pair_array[:, 1], usable, batch_size=batch_size
+                ).to_metrics()
+            else:
+                metrics = summarize_routes(
+                    overlay.route(source, destination, usable) for source, destination in pairs
+                )
         steps.append(
             ChurnStepResult(
                 step=step,

@@ -1,0 +1,589 @@
+"""Vectorized batch simulation engine for the Monte-Carlo resilience studies.
+
+The scalar overlay simulators (:meth:`repro.dht.network.Overlay.route`) route
+one (source, destination) pair at a time through pure-Python loops — faithful
+to the paper's routing rules but orders of magnitude too slow for the
+Gummadi-style resilience sweeps the analysis is validated against.  This
+module routes *all* sampled survivor pairs of one ``(geometry, d, q, seed)``
+cell simultaneously in NumPy batch operations: per hop, every still-active
+pair selects its next neighbour from the alive-masked routing tables, and
+pairs terminate individually with the same success/failure bookkeeping the
+scalar path produces.
+
+The batch kernels are exact replicas of the scalar routing rules — same
+next-hop choice, same tie-breaking, same hop budget — so for any pair the
+batch engine reports the identical ``(succeeded, hops, FailureReason)``
+triple that :meth:`Overlay.route` would.  The scalar path is kept as the
+oracle; ``tests/test_engine.py`` property-tests the agreement pair-for-pair
+on all five overlays.
+
+Layered on top:
+
+* :func:`route_pairs` — route a batch of pairs on one overlay under one
+  survival mask, returning a :class:`BatchRouteOutcome` of flat arrays.
+* :class:`SweepRunner` — fan a ``(geometry × q × replicate)`` grid out
+  across ``multiprocessing`` workers, with deterministic per-cell seeding
+  (identical results for any worker count) and memoization of completed
+  cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dht import OVERLAY_CLASSES, Overlay
+from ..dht.failures import survival_mask
+from ..dht.metrics import RoutingMetrics
+from ..dht.routing import FAILURE_CODES, FailureReason, failure_reason_from_code
+from ..exceptions import InvalidParameterError, RoutingError, UnknownGeometryError
+from ..validation import check_failure_probability, check_non_negative_int, check_positive_int
+from .sampling import sample_survivor_pairs
+
+__all__ = [
+    "BatchRouteOutcome",
+    "route_pairs",
+    "ROUTING_ENGINES",
+    "check_engine",
+    "SweepCell",
+    "SweepCellResult",
+    "SweepRunner",
+]
+
+#: Valid values of the ``engine`` argument of the measurement APIs.
+ROUTING_ENGINES = ("batch", "scalar")
+
+
+def check_engine(engine: str) -> str:
+    """Validate a routing-engine name shared by every measurement entry point."""
+    if engine not in ROUTING_ENGINES:
+        raise InvalidParameterError(
+            f"unknown routing engine {engine!r}; expected one of {ROUTING_ENGINES}"
+        )
+    return engine
+
+_SUCCESS_CODE = FAILURE_CODES[FailureReason.NONE]
+_DEAD_END_CODE = FAILURE_CODES[FailureReason.DEAD_END]
+_REQUIRED_FAILED_CODE = FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED]
+_HOP_LIMIT_CODE = FAILURE_CODES[FailureReason.HOP_LIMIT_EXCEEDED]
+
+#: Sentinel distance larger than any real distance in a d <= 52 bit space.
+_FAR = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class BatchRouteOutcome:
+    """Per-pair outcomes of one batched routing run, as flat arrays.
+
+    The arrays are aligned: entry ``i`` of each describes the attempt from
+    ``sources[i]`` to ``destinations[i]``.  ``hops`` counts forwarding steps
+    actually taken (the failed hop of a dropped message is not counted,
+    matching ``len(RouteResult.path) - 1`` of the scalar path), and
+    ``failure_codes`` holds the :data:`repro.dht.routing.FAILURE_CODES`
+    encoding of each pair's :class:`~repro.dht.routing.FailureReason`.
+    """
+
+    sources: np.ndarray
+    destinations: np.ndarray
+    succeeded: np.ndarray
+    hops: np.ndarray
+    failure_codes: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of routed pairs."""
+        return int(self.sources.size)
+
+    def failure_reason(self, index: int) -> FailureReason:
+        """The :class:`FailureReason` of pair ``index`` (``NONE`` on success)."""
+        return failure_reason_from_code(self.failure_codes[index])
+
+    def failure_reason_counts(self) -> Dict[FailureReason, int]:
+        """Count of failed pairs per failure reason (reasons that occurred only)."""
+        counts: Dict[FailureReason, int] = {}
+        for code in np.unique(self.failure_codes):
+            if int(code) == _SUCCESS_CODE:
+                continue
+            counts[failure_reason_from_code(code)] = int(
+                np.count_nonzero(self.failure_codes == code)
+            )
+        return counts
+
+    def to_metrics(self) -> RoutingMetrics:
+        """Summarise the batch into the same :class:`RoutingMetrics` the scalar path yields."""
+        attempts = self.n_pairs
+        successes = int(np.count_nonzero(self.succeeded))
+        failures = attempts - successes
+        success_hops = int(self.hops[self.succeeded].sum())
+        failed_hops = int(self.hops[~self.succeeded].sum())
+        return RoutingMetrics(
+            attempts=attempts,
+            successes=successes,
+            mean_hops_successful=(success_hops / successes) if successes else float("nan"),
+            mean_hops_failed=(failed_hops / failures) if failures else float("nan"),
+            failure_reasons=self.failure_reason_counts(),
+        )
+
+    def merged_with(self, other: "BatchRouteOutcome") -> "BatchRouteOutcome":
+        """Concatenate two outcome batches (used by the chunked driver)."""
+        return BatchRouteOutcome(
+            sources=np.concatenate([self.sources, other.sources]),
+            destinations=np.concatenate([self.destinations, other.destinations]),
+            succeeded=np.concatenate([self.succeeded, other.succeeded]),
+            hops=np.concatenate([self.hops, other.hops]),
+            failure_codes=np.concatenate([self.failure_codes, other.failure_codes]),
+        )
+
+
+# --------------------------------------------------------------------- #
+# per-geometry batch kernels
+# --------------------------------------------------------------------- #
+def _tree_step(
+    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One hop of Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
+    tables = overlay.neighbor_array()
+    diff = cur ^ dst
+    # Column of the highest-order differing bit: position - 1 = d - bit_length(diff).
+    # np.frexp returns the exponent e with diff = m * 2^e, m in [0.5, 1), i.e.
+    # exactly bit_length(diff); exact for diff < 2^53, far beyond any overlay
+    # that fits in memory.
+    bit_length = np.frexp(diff.astype(np.float64))[1]
+    nxt = tables[cur, overlay.d - bit_length]
+    return nxt, alive[nxt], _REQUIRED_FAILED_CODE
+
+
+def _hypercube_step(
+    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One hop of greedy hypercube routing: smallest alive neighbour correcting a differing bit."""
+    tables = overlay.neighbor_array()
+    neighbors = tables[cur]  # (batch, d)
+    differing = ((cur ^ dst)[:, None] & (neighbors ^ cur[:, None])) != 0
+    usable = differing & alive[neighbors]
+    # The scalar rule picks min(candidates); a sentinel of n_nodes sorts last.
+    candidates = np.where(usable, neighbors, overlay.n_nodes)
+    nxt = candidates.min(axis=1)
+    ok = nxt < overlay.n_nodes
+    return np.where(ok, nxt, cur), ok, _DEAD_END_CODE
+
+
+def _xor_step(
+    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One hop of greedy XOR routing: the alive neighbour strictly closest to the destination."""
+    tables = overlay.neighbor_array()
+    neighbors = tables[cur]  # (batch, d)
+    distances = neighbors ^ dst[:, None]
+    usable = alive[neighbors] & (distances < (cur ^ dst)[:, None])
+    masked = np.where(usable, distances, _FAR)
+    # XOR distances to a fixed destination are distinct across distinct
+    # neighbours, so the argmin is the unique scalar choice.
+    best = masked.argmin(axis=1)
+    rows = np.arange(cur.size)
+    return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
+
+
+def _ring_step(
+    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One hop of greedy clockwise routing without overshooting (Chord and Symphony)."""
+    tables = overlay.neighbor_array()
+    n = overlay.n_nodes
+    neighbors = tables[cur]  # (batch, k)
+    progress = (neighbors - cur[:, None]) % n
+    remaining = ((dst - cur) % n)[:, None]
+    usable = alive[neighbors] & (progress > 0) & (progress <= remaining)
+    after = np.where(usable, remaining - progress, _FAR)
+    # Ties in the remaining distance imply the same neighbour identifier, so
+    # argmin (first minimum) reproduces the scalar first-strict-improvement scan.
+    best = after.argmin(axis=1)
+    rows = np.arange(cur.size)
+    return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
+
+
+_STEP_KERNELS = {
+    "tree": _tree_step,
+    "hypercube": _hypercube_step,
+    "xor": _xor_step,
+    "ring": _ring_step,
+    "smallworld": _ring_step,
+}
+
+
+def _check_batch_arguments(
+    overlay: Overlay,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    alive: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized equivalent of ``Overlay._check_route_arguments`` for a pair batch."""
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if sources.ndim != 1 or destinations.ndim != 1 or sources.shape != destinations.shape:
+        raise RoutingError(
+            f"sources and destinations must be equal-length 1-D arrays, got shapes "
+            f"{sources.shape} and {destinations.shape}"
+        )
+    n = overlay.n_nodes
+    alive = np.asarray(alive)
+    if alive.dtype != np.bool_:
+        alive = alive.astype(bool)
+    if alive.shape != (n,):
+        raise RoutingError(f"survival mask has shape {alive.shape}, expected ({n},)")
+    for label, endpoints in (("source", sources), ("destination", destinations)):
+        if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= n):
+            raise RoutingError(f"batch contains a {label} outside the identifier space [0, {n})")
+    if np.any(sources == destinations):
+        raise RoutingError("source and destination must differ")
+    if sources.size and not (alive[sources].all() and alive[destinations].all()):
+        raise RoutingError(
+            "routability is defined over surviving pairs: both end-points must be alive"
+        )
+    return sources, destinations, alive
+
+
+def route_pairs(
+    overlay: Overlay,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    alive: np.ndarray,
+    *,
+    batch_size: Optional[int] = None,
+) -> BatchRouteOutcome:
+    """Route every (source, destination) pair on ``overlay`` under one survival mask.
+
+    This is the batched equivalent of calling :meth:`Overlay.route` once per
+    pair: outcomes agree pair-for-pair with the scalar path (same hops, same
+    success flag, same failure reason).  ``batch_size`` optionally chunks the
+    pair list to bound the ``batch × degree`` working-set size; chunking does
+    not change any outcome.
+
+    Raises
+    ------
+    RoutingError
+        Under the same misuse conditions as the scalar path: a pair with
+        identical end-points, a dead end-point, an out-of-space identifier
+        or a malformed survival mask.
+    """
+    try:
+        kernel = _STEP_KERNELS[overlay.geometry_name]
+    except KeyError as exc:
+        raise UnknownGeometryError(
+            f"no batch kernel for geometry {overlay.geometry_name!r}; "
+            f"expected one of {sorted(_STEP_KERNELS)}"
+        ) from exc
+    sources, destinations, alive = _check_batch_arguments(overlay, sources, destinations, alive)
+    if batch_size is not None:
+        batch_size = check_positive_int(batch_size, "batch_size")
+        if sources.size > batch_size:
+            chunks = [
+                _route_batch(
+                    overlay,
+                    kernel,
+                    sources[start : start + batch_size],
+                    destinations[start : start + batch_size],
+                    alive,
+                )
+                for start in range(0, sources.size, batch_size)
+            ]
+            return BatchRouteOutcome(
+                sources=sources,
+                destinations=destinations,
+                succeeded=np.concatenate([c.succeeded for c in chunks]),
+                hops=np.concatenate([c.hops for c in chunks]),
+                failure_codes=np.concatenate([c.failure_codes for c in chunks]),
+            )
+    return _route_batch(overlay, kernel, sources, destinations, alive)
+
+
+def _route_batch(
+    overlay: Overlay,
+    kernel,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    alive: np.ndarray,
+) -> BatchRouteOutcome:
+    """Core batch loop: advance all active pairs one hop per iteration."""
+    n_pairs = sources.size
+    hop_limit = overlay.hop_limit()
+    current = sources.copy()
+    hops = np.zeros(n_pairs, dtype=np.int64)
+    succeeded = np.zeros(n_pairs, dtype=bool)
+    codes = np.full(n_pairs, _SUCCESS_CODE, dtype=np.int8)
+    active = np.arange(n_pairs, dtype=np.int64)  # end-points differ by precondition
+
+    while active.size:
+        # The scalar path checks the hop budget before every forwarding step.
+        exhausted = hops[active] >= hop_limit
+        if exhausted.any():
+            codes[active[exhausted]] = _HOP_LIMIT_CODE
+            active = active[~exhausted]
+            if not active.size:
+                break
+        next_hop, ok, fail_code = kernel(overlay, current[active], destinations[active], alive)
+        if not ok.all():
+            codes[active[~ok]] = fail_code
+            next_hop = next_hop[ok]
+            active = active[ok]
+        current[active] = next_hop
+        hops[active] += 1
+        arrived = current[active] == destinations[active]
+        if arrived.any():
+            succeeded[active[arrived]] = True
+            active = active[~arrived]
+
+    return BatchRouteOutcome(
+        sources=sources,
+        destinations=destinations,
+        succeeded=succeeded,
+        hops=hops,
+        failure_codes=codes,
+    )
+
+
+# --------------------------------------------------------------------- #
+# sweep grid fan-out
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent cell of a resilience sweep grid.
+
+    A cell is one ``(geometry, d, q, replicate)`` combination; replicates are
+    independent failure patterns (the scalar driver's ``trials``).  Each cell
+    derives its own random seeds from the runner's base seed, so its result
+    is a pure function of the cell key — the property that makes worker
+    fan-out deterministic and memoization sound.
+    """
+
+    geometry: str
+    d: int
+    q: float
+    replicate: int
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """Measured metrics of one completed sweep cell."""
+
+    cell: SweepCell
+    pairs: int
+    metrics: RoutingMetrics
+    #: True when fewer than two nodes survived the failure pattern (extreme q);
+    #: such cells contribute no routing attempts.
+    degenerate: bool = False
+
+
+def _cell_entropy(base_seed: int, purpose: str, cell_key: Tuple) -> List[int]:
+    """Deterministic, platform-independent entropy words for one cell seed."""
+    words = [int(base_seed), zlib.crc32(purpose.encode("utf-8"))]
+    for part in cell_key:
+        if isinstance(part, str):
+            words.append(zlib.crc32(part.encode("utf-8")))
+        elif isinstance(part, float):
+            words.append(int(round(part * 10**9)))
+        else:
+            words.append(int(part))
+    return words
+
+
+# Overlays are deterministic functions of their build seed, so worker
+# processes (and the in-process path) cache them per build key instead of
+# rebuilding one per q cell.
+_OVERLAY_CACHE: Dict[Tuple, Overlay] = {}
+
+
+def _cached_overlay(
+    geometry: str,
+    d: int,
+    replicate: int,
+    base_seed: int,
+    overlay_options: Tuple[Tuple[str, object], ...],
+) -> Overlay:
+    key = (geometry, d, replicate, base_seed, overlay_options)
+    overlay = _OVERLAY_CACHE.get(key)
+    if overlay is None:
+        if geometry not in OVERLAY_CLASSES:
+            raise UnknownGeometryError(
+                f"unknown geometry {geometry!r}; expected one of {sorted(OVERLAY_CLASSES)}"
+            )
+        build_rng = np.random.default_rng(
+            np.random.SeedSequence(_cell_entropy(base_seed, "overlay", (geometry, d, replicate)))
+        )
+        overlay = OVERLAY_CLASSES[geometry].build(d, rng=build_rng, **dict(overlay_options))
+        _OVERLAY_CACHE.clear()  # keep at most one overlay per worker: they can be large
+        _OVERLAY_CACHE[key] = overlay
+    return overlay
+
+
+def _run_sweep_cell(spec: Tuple) -> SweepCellResult:
+    """Worker entry point: route one cell of the sweep grid (top-level for pickling)."""
+    cell, pairs, base_seed, batch_size, overlay_options = spec
+    overlay = _cached_overlay(cell.geometry, cell.d, cell.replicate, base_seed, overlay_options)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            _cell_entropy(base_seed, "routing", (cell.geometry, cell.d, cell.replicate, cell.q))
+        )
+    )
+    alive = survival_mask(overlay.n_nodes, cell.q, rng)
+    if int(alive.sum()) < 2:
+        empty = BatchRouteOutcome(
+            sources=np.empty(0, dtype=np.int64),
+            destinations=np.empty(0, dtype=np.int64),
+            succeeded=np.empty(0, dtype=bool),
+            hops=np.empty(0, dtype=np.int64),
+            failure_codes=np.empty(0, dtype=np.int8),
+        )
+        return SweepCellResult(cell=cell, pairs=pairs, metrics=empty.to_metrics(), degenerate=True)
+    pair_list = sample_survivor_pairs(alive, pairs, rng)
+    pair_array = np.asarray(pair_list, dtype=np.int64)
+    outcome = route_pairs(
+        overlay, pair_array[:, 0], pair_array[:, 1], alive, batch_size=batch_size
+    )
+    return SweepCellResult(cell=cell, pairs=pairs, metrics=outcome.to_metrics())
+
+
+class SweepRunner:
+    """Fan a ``(geometry × q × replicate)`` resilience grid across worker processes.
+
+    Every cell of the grid is seeded independently from ``base_seed`` (see
+    :class:`SweepCell`), so the measured metrics are identical for any
+    ``workers`` setting and any execution order — ``workers`` only changes
+    wall-clock time.  Completed cells are memoized on the runner; re-running
+    an overlapping grid only computes the missing cells.
+
+    Parameters
+    ----------
+    pairs:
+        Surviving (source, destination) pairs sampled per cell.
+    replicates:
+        Independent failure patterns per ``(geometry, q)`` point (the scalar
+        driver's ``trials``).
+    workers:
+        Worker processes to spread cells over; ``1`` runs everything in-process.
+    batch_size:
+        Optional chunk size forwarded to :func:`route_pairs`.
+    overlay_options:
+        Extra keyword arguments forwarded to the overlay builders (e.g.
+        ``near_neighbors``/``shortcuts`` for Symphony).
+    """
+
+    def __init__(
+        self,
+        *,
+        pairs: int = 2000,
+        replicates: int = 3,
+        workers: int = 1,
+        batch_size: Optional[int] = None,
+        base_seed: int = 20060328,
+        overlay_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self._pairs = check_positive_int(pairs, "pairs")
+        self._replicates = check_positive_int(replicates, "replicates")
+        self._workers = check_positive_int(workers, "workers")
+        if batch_size is not None:
+            batch_size = check_positive_int(batch_size, "batch_size")
+        self._batch_size = batch_size
+        # Seed 0 is valid (np.random accepts it, and PairWorkload.derived_seed
+        # can produce it), so only negatives are rejected.
+        self._base_seed = check_non_negative_int(base_seed, "base_seed")
+        self._overlay_options = tuple(sorted((overlay_options or {}).items()))
+        self._completed: Dict[SweepCell, SweepCellResult] = {}
+
+    @property
+    def completed_cells(self) -> int:
+        """Number of distinct cells memoized so far."""
+        return len(self._completed)
+
+    def _grid(
+        self, geometries: Sequence[str], d: int, failure_probabilities: Sequence[float]
+    ) -> List[SweepCell]:
+        if not geometries:
+            raise InvalidParameterError("geometries must not be empty")
+        if not len(failure_probabilities):
+            raise InvalidParameterError("failure_probabilities must not be empty")
+        # Replicate-major before q: consecutive cells share one overlay build,
+        # so a worker's overlay cache hits across the q values it is handed.
+        return [
+            SweepCell(geometry=g, d=d, q=check_failure_probability(q), replicate=r)
+            for g in geometries
+            for r in range(self._replicates)
+            for q in failure_probabilities
+        ]
+
+    def run(
+        self,
+        geometries: Sequence[str],
+        d: int,
+        failure_probabilities: Sequence[float],
+    ) -> Dict[SweepCell, SweepCellResult]:
+        """Compute (or recall) every cell of the grid; returns cell -> result."""
+        grid = self._grid(geometries, d, failure_probabilities)
+        pending = [cell for cell in grid if cell not in self._completed]
+        if pending:
+            specs = [
+                (cell, self._pairs, self._base_seed, self._batch_size, self._overlay_options)
+                for cell in pending
+            ]
+            if self._workers > 1 and len(specs) > 1:
+                # Chunk by (geometry, replicate) ordering so each worker reuses
+                # its cached overlay across the q values it is handed.
+                with multiprocessing.get_context().Pool(
+                    processes=min(self._workers, len(specs))
+                ) as pool:
+                    results = pool.map(_run_sweep_cell, specs)
+            else:
+                results = [_run_sweep_cell(spec) for spec in specs]
+            for result in results:
+                self._completed[result.cell] = result
+        return {cell: self._completed[cell] for cell in grid}
+
+    def sweep(
+        self, geometry: str, d: int, failure_probabilities: Sequence[float]
+    ) -> "ResilienceSweepResult":
+        """Run one geometry's sweep and pool replicates into the standard result types."""
+        # Imported here: static_resilience imports this module at load time.
+        from .static_resilience import ResilienceSweepResult, StaticResilienceResult
+
+        cell_results = self.run([geometry], d, failure_probabilities)
+        overlay_cls = OVERLAY_CLASSES[geometry]
+        point_results = []
+        for q in failure_probabilities:
+            pooled: Optional[RoutingMetrics] = None
+            degenerate = 0
+            for replicate in range(self._replicates):
+                result = cell_results[SweepCell(geometry=geometry, d=d, q=q, replicate=replicate)]
+                if result.degenerate:
+                    degenerate += 1
+                    continue
+                pooled = result.metrics if pooled is None else pooled.merged_with(result.metrics)
+            if pooled is None:
+                pooled = RoutingMetrics(
+                    attempts=0,
+                    successes=0,
+                    mean_hops_successful=float("nan"),
+                    mean_hops_failed=float("nan"),
+                    failure_reasons={},
+                )
+            point_results.append(
+                StaticResilienceResult(
+                    geometry=geometry,
+                    system=overlay_cls.system_name,
+                    d=d,
+                    q=q,
+                    trials=self._replicates,
+                    pairs_per_trial=self._pairs,
+                    metrics=pooled,
+                    degenerate_trials=degenerate,
+                )
+            )
+        return ResilienceSweepResult(
+            geometry=geometry,
+            system=overlay_cls.system_name,
+            d=d,
+            results=tuple(point_results),
+        )

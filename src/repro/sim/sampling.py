@@ -42,12 +42,15 @@ def sample_survivor_pairs(
         )
     sources = survivors[rng.integers(0, survivors.size, size=count)]
     destinations = survivors[rng.integers(0, survivors.size, size=count)]
-    pairs: List[Tuple[int, int]] = []
-    for source, destination in zip(sources, destinations):
-        while destination == source:
+    # Only colliding pairs need scalar redraws; resolving them in pair order,
+    # one draw at a time, consumes the random stream exactly like redrawing
+    # inside a per-pair loop would, so seeded results are stream-stable.
+    for index in np.flatnonzero(destinations == sources):
+        destination = destinations[index]
+        while destination == sources[index]:
             destination = survivors[int(rng.integers(0, survivors.size))]
-        pairs.append((int(source), int(destination)))
-    return pairs
+        destinations[index] = destination
+    return list(zip(sources.tolist(), destinations.tolist()))
 
 
 def all_survivor_pairs(alive: np.ndarray, *, limit: int = 2_000_000) -> List[Tuple[int, int]]:

@@ -15,11 +15,17 @@ The module exposes three levels of API:
   (the shape of the paper's Figure 6 curves).
 * :func:`simulate_geometry` — convenience wrapper that builds the overlay
   from a geometry name.
+
+Routing runs on the vectorized batch engine (:mod:`repro.sim.engine`) by
+default; pass ``engine="scalar"`` to route pairs one at a time through the
+overlays' ``route`` methods instead.  The two paths are property-tested to
+produce identical outcomes pair-for-pair (the scalar path is the oracle),
+so the choice only affects speed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
@@ -39,6 +45,7 @@ from ..validation import (
     check_identifier_length,
     check_positive_int,
 )
+from .engine import ROUTING_ENGINES, check_engine, route_pairs
 from .sampling import sample_survivor_pairs
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "sweep_failure_probabilities",
     "simulate_geometry",
     "build_overlay",
+    "ROUTING_ENGINES",
 ]
 
 
@@ -172,6 +180,8 @@ def measure_routability(
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
     failure_model: Optional[FailureModel] = None,
+    engine: str = "batch",
+    batch_size: Optional[int] = None,
 ) -> StaticResilienceResult:
     """Estimate the routability of ``overlay`` at failure probability ``q``.
 
@@ -190,10 +200,18 @@ def measure_routability(
     failure_model:
         Optional alternative failure model; defaults to the paper's uniform
         node-failure model with probability ``q``.
+    engine:
+        ``"batch"`` routes all pairs of a trial at once through the
+        vectorized engine; ``"scalar"`` routes them one at a time through
+        ``overlay.route``.  Both consume the random stream identically and
+        produce identical metrics.
+    batch_size:
+        Optional chunk size for the batch engine (bounds peak memory).
     """
     q = check_failure_probability(q)
     pairs = check_positive_int(pairs, "pairs")
     trials = check_positive_int(trials, "trials")
+    engine = check_engine(engine)
     generator = make_rng(rng, seed)
     model = failure_model if failure_model is not None else UniformNodeFailure(q)
 
@@ -205,8 +223,17 @@ def measure_routability(
             degenerate += 1
             continue
         pair_list = sample_survivor_pairs(alive, pairs, generator)
-        results = [overlay.route(source, destination, alive) for source, destination in pair_list]
-        metrics = summarize_routes(results)
+        if engine == "batch":
+            pair_array = np.asarray(pair_list, dtype=np.int64)
+            outcome = route_pairs(
+                overlay, pair_array[:, 0], pair_array[:, 1], alive, batch_size=batch_size
+            )
+            metrics = outcome.to_metrics()
+        else:
+            results = [
+                overlay.route(source, destination, alive) for source, destination in pair_list
+            ]
+            metrics = summarize_routes(results)
         pooled = metrics if pooled is None else pooled.merged_with(metrics)
     if pooled is None:
         pooled = summarize_routes([])
@@ -230,13 +257,24 @@ def sweep_failure_probabilities(
     trials: int = 3,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    engine: str = "batch",
+    batch_size: Optional[int] = None,
 ) -> ResilienceSweepResult:
     """Measure routability of ``overlay`` across a sweep of failure probabilities."""
     if len(failure_probabilities) == 0:
         raise InvalidParameterError("failure_probabilities must not be empty")
+    engine = check_engine(engine)
     generator = make_rng(rng, seed)
     results = tuple(
-        measure_routability(overlay, q, pairs=pairs, trials=trials, rng=generator)
+        measure_routability(
+            overlay,
+            q,
+            pairs=pairs,
+            trials=trials,
+            rng=generator,
+            engine=engine,
+            batch_size=batch_size,
+        )
         for q in failure_probabilities
     )
     return ResilienceSweepResult(
@@ -255,6 +293,8 @@ def simulate_geometry(
     pairs: int = 2000,
     trials: int = 3,
     seed: Optional[int] = None,
+    engine: str = "batch",
+    batch_size: Optional[int] = None,
     **overlay_options,
 ) -> ResilienceSweepResult:
     """Build the overlay for ``geometry`` and sweep the given failure probabilities.
@@ -270,4 +310,6 @@ def simulate_geometry(
         pairs=pairs,
         trials=trials,
         rng=generator,
+        engine=engine,
+        batch_size=batch_size,
     )
