@@ -14,7 +14,10 @@ Subcommands
     Run the Monte-Carlo overlay simulator and print measured routability.
     ``--engine batch|scalar`` selects the vectorized batch engine (default)
     or the scalar oracle path; ``--workers N`` fans the sweep across worker
-    processes and ``--batch-size`` bounds the engine's per-batch memory.
+    processes, ``--batch-size`` bounds the engine's per-batch memory, and
+    ``--fused`` / ``--per-cell`` toggle between fusing all cells that share
+    an overlay into one kernel invocation (default) and the one-task-per-cell
+    dispatch.  All combinations measure bit-identical metrics.
 """
 
 from __future__ import annotations
@@ -109,6 +112,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="pairs routed per engine batch (default: all at once; lower it to bound memory)",
     )
+    dispatch = parser.add_mutually_exclusive_group()
+    dispatch.add_argument(
+        "--fused",
+        dest="fused",
+        action="store_true",
+        default=True,
+        help=(
+            "fuse every sweep cell sharing an overlay into one stacked-mask kernel "
+            "invocation (default; results are bit-identical to --per-cell)"
+        ),
+    )
+    dispatch.add_argument(
+        "--per-cell",
+        dest="fused",
+        action="store_false",
+        help="dispatch one engine task per (q, replicate) cell instead of fusing",
+    )
 
 
 def _command_list() -> str:
@@ -125,6 +145,7 @@ def _command_run(arguments: argparse.Namespace) -> str:
         workload=PairWorkload(pairs=arguments.pairs, trials=arguments.trials, seed=arguments.seed),
         workers=arguments.workers,
         engine=arguments.engine,
+        fused=arguments.fused,
         batch_size=arguments.batch_size,
     )
     result = run_experiment(arguments.experiment_id, config)
@@ -156,16 +177,17 @@ def _command_compare(arguments: argparse.Namespace) -> str:
 def _command_simulate(arguments: argparse.Namespace) -> str:
     # The batch engine always sweeps through the SweepRunner (not the
     # sequential-stream driver) so the printed numbers are identical for
-    # every --workers value, including the default of 1.
+    # every --workers value and both --fused/--per-cell dispatch modes.
     if arguments.engine == "batch":
-        runner = SweepRunner(
+        with SweepRunner(
             pairs=arguments.pairs,
             replicates=arguments.trials,
             workers=arguments.workers,
             batch_size=arguments.batch_size,
             base_seed=arguments.seed,
-        )
-        sweep = runner.sweep(arguments.geometry, arguments.d, arguments.q)
+            fused=arguments.fused,
+        ) as runner:
+            sweep = runner.sweep(arguments.geometry, arguments.d, arguments.q)
     else:
         sweep = simulate_geometry(
             arguments.geometry,

@@ -42,6 +42,11 @@ class ExperimentConfig:
     engine:
         Routing engine for simulation-backed experiments: ``"batch"``
         (vectorized, the default) or ``"scalar"`` (the per-pair oracle path).
+    fused:
+        Sweep dispatch mode for the batch engine: ``True`` (default) fuses
+        every cell sharing an overlay build into one stacked kernel
+        invocation; ``False`` dispatches one engine task per ``(q,
+        replicate)`` cell.  Results are bit-identical either way.
     batch_size:
         Optional pair-chunk size for the batch engine (bounds peak memory).
     """
@@ -51,6 +56,7 @@ class ExperimentConfig:
     workload: PairWorkload = field(default_factory=PairWorkload)
     workers: int = 1
     engine: str = "batch"
+    fused: bool = True
     batch_size: Optional[int] = None
 
     def resolved_simulation_d(self, *, full_default: int, fast_default: int) -> int:

@@ -102,5 +102,8 @@ class ChurnApplicability(Experiment):
                 "Between repairs the effective failure probability grows with time; evaluating the "
                 "static RCM expression at q_eff(t) tracks the measured routability throughout the "
                 "epoch, supporting the transfer of the paper's static conclusions to churn.",
+                "Under the batch engine every step's usable-mask routing is fused into one "
+                "stacked-mask kernel invocation per epoch (repro.sim.engine.route_pairs_stacked); "
+                "metrics are bit-identical to routing each step separately.",
             ),
         )

@@ -42,14 +42,15 @@ class Fig6bRingBound(Experiment):
 
         analytical = failed_path_curve("ring", failure_probabilities, d=ANALYTICAL_D)
         if config.engine == "batch":
-            runner = SweepRunner(
+            with SweepRunner(
                 pairs=workload.pairs,
                 replicates=workload.trials,
                 workers=config.workers,
                 batch_size=config.batch_size,
                 base_seed=workload.derived_seed("fig6b-ring"),
-            )
-            sweep = runner.sweep("ring", simulation_d, failure_probabilities)
+                fused=config.fused,
+            ) as runner:
+                sweep = runner.sweep("ring", simulation_d, failure_probabilities)
         else:
             sweep = simulate_geometry(
                 "ring",
@@ -89,6 +90,7 @@ class Fig6bRingBound(Experiment):
                 "trials": workload.trials,
                 "fast": config.fast,
                 "engine": config.engine,
+                "fused": config.fused,
                 "workers": config.workers,
             },
             tables={"fig6b_failed_path_percent": rows},

@@ -12,7 +12,10 @@ The asymptotic size cannot be simulated, so the experiment additionally
 grounds the analytical chain at a simulable size: the batch engine
 (:mod:`repro.sim.engine`) sweeps all five geometries at ``N = 2^d`` and the
 measured failed-path percentages are reported next to the analytical values
-at the same size — the finite-size anchor of the extrapolation.
+at the same size — the finite-size anchor of the extrapolation.  The fused
+multi-cell dispatch makes the paper-scale anchor affordable at ``N = 2^16``
+(the per-cell path topped out at ``2^12``), so full mode now validates at
+the same size as the paper's Figure 6 simulations.
 """
 
 from __future__ import annotations
@@ -32,8 +35,10 @@ __all__ = ["Fig7aAsymptoticLimit"]
 ASYMPTOTIC_D = 100
 #: Reference size for the "close to N = 2^16" comparison.
 REFERENCE_D = 16
-#: Simulable sizes for the engine-backed finite-size anchor.
-VALIDATION_FULL_D = 12
+#: Simulable sizes for the engine-backed finite-size anchor.  Full mode
+#: anchors at the paper's simulation size N = 2^16, which the fused sweep
+#: dispatch makes affordable; fast mode keeps CI runs in seconds.
+VALIDATION_FULL_D = 16
 VALIDATION_FAST_D = 8
 
 
@@ -72,36 +77,41 @@ class Fig7aAsymptoticLimit(Experiment):
 
         # Finite-size anchor: measure the same curves at a simulable size.
         runner: Optional[SweepRunner] = None
-        if config.engine == "batch":
-            runner = SweepRunner(
-                pairs=workload.pairs,
-                replicates=workload.trials,
-                workers=config.workers,
-                batch_size=config.batch_size,
-                base_seed=workload.derived_seed("fig7a-sim"),
-            )
-            runner.run(list(PAPER_GEOMETRIES), validation_d, failure_probabilities)
         validation_rows: List[Dict[str, object]] = [dict(q=q) for q in failure_probabilities]
-        for geometry in PAPER_GEOMETRIES:
-            analytical_at_d = failed_path_curve(geometry, failure_probabilities, d=validation_d)
-            if runner is not None:
-                sweep = runner.sweep(geometry, validation_d, failure_probabilities)
-            else:
-                sweep = simulate_geometry(
-                    geometry,
-                    validation_d,
-                    failure_probabilities,
+        try:
+            if config.engine == "batch":
+                runner = SweepRunner(
                     pairs=workload.pairs,
-                    trials=workload.trials,
-                    seed=workload.derived_seed(f"fig7a-{geometry}"),
-                    engine=config.engine,
+                    replicates=workload.trials,
+                    workers=config.workers,
                     batch_size=config.batch_size,
+                    base_seed=workload.derived_seed("fig7a-sim"),
+                    fused=config.fused,
                 )
-            for row, analytical_value, simulated_value in zip(
-                validation_rows, analytical_at_d.y_values, sweep.failed_path_percentages
-            ):
-                row[f"{geometry}_analytical"] = analytical_value
-                row[f"{geometry}_simulated"] = simulated_value
+                runner.run(list(PAPER_GEOMETRIES), validation_d, failure_probabilities)
+            for geometry in PAPER_GEOMETRIES:
+                analytical_at_d = failed_path_curve(geometry, failure_probabilities, d=validation_d)
+                if runner is not None:
+                    sweep = runner.sweep(geometry, validation_d, failure_probabilities)
+                else:
+                    sweep = simulate_geometry(
+                        geometry,
+                        validation_d,
+                        failure_probabilities,
+                        pairs=workload.pairs,
+                        trials=workload.trials,
+                        seed=workload.derived_seed(f"fig7a-{geometry}"),
+                        engine=config.engine,
+                        batch_size=config.batch_size,
+                    )
+                for row, analytical_value, simulated_value in zip(
+                    validation_rows, analytical_at_d.y_values, sweep.failed_path_percentages
+                ):
+                    row[f"{geometry}_analytical"] = analytical_value
+                    row[f"{geometry}_simulated"] = simulated_value
+        finally:
+            if runner is not None:
+                runner.close()
 
         return self._result(
             parameters={
@@ -112,6 +122,7 @@ class Fig7aAsymptoticLimit(Experiment):
                 "symphony_shortcuts": 1,
                 "fast": config.fast,
                 "engine": config.engine,
+                "fused": config.fused,
                 "workers": config.workers,
             },
             tables={

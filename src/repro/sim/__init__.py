@@ -18,8 +18,9 @@ from .engine import (
     SweepCellResult,
     SweepRunner,
     route_pairs,
+    route_pairs_stacked,
 )
-from .sampling import all_survivor_pairs, sample_survivor_pairs
+from .sampling import all_survivor_pairs, sample_survivor_pair_arrays, sample_survivor_pairs
 from .static_resilience import (
     ROUTING_ENGINES,
     ResilienceSweepResult,
@@ -41,7 +42,9 @@ __all__ = [
     "SweepCellResult",
     "SweepRunner",
     "route_pairs",
+    "route_pairs_stacked",
     "all_survivor_pairs",
+    "sample_survivor_pair_arrays",
     "sample_survivor_pairs",
     "ROUTING_ENGINES",
     "ResilienceSweepResult",

@@ -39,8 +39,8 @@ from ..dht.metrics import RoutingMetrics, summarize_routes
 from ..dht.network import Overlay, make_rng
 from ..exceptions import InvalidParameterError
 from ..validation import check_positive_int, check_probability
-from .engine import check_engine, route_pairs
-from .sampling import sample_survivor_pairs
+from .engine import check_engine, route_pairs_stacked
+from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
     "ChurnConfig",
@@ -175,16 +175,23 @@ def simulate_churn(
     set shrinks over the epoch exactly as the static model's ``q_eff(t)``
     predicts.  Source/destination pairs are sampled among usable nodes.
 
-    ``engine`` selects how each step's pairs are routed: ``"batch"`` (the
-    default) runs them through the vectorized engine, ``"scalar"`` routes
-    one pair at a time; both produce identical metrics.
+    ``engine`` selects how the sampled pairs are routed: ``"batch"`` (the
+    default) stacks every step's usable mask and routes the whole epoch in
+    one fused engine invocation after the churn chain has been simulated,
+    ``"scalar"`` routes one pair at a time as each step is reached; routing
+    consumes no randomness, so both produce identical metrics.
     """
     engine = check_engine(engine)
     generator = make_rng(rng, seed)
     n = overlay.n_nodes
     online = np.ones(n, dtype=bool)  # state at the repair epoch
     online_at_repair = online.copy()
-    steps: List[ChurnStepResult] = []
+    pairs_per_step = config.pairs_per_step
+    # (step, effective_q, online_fraction, usable_fraction, fused index, metrics)
+    records: List[Tuple[int, float, float, float, Optional[int], Optional[RoutingMetrics]]] = []
+    epoch_masks: List[np.ndarray] = []
+    epoch_sources: List[np.ndarray] = []
+    epoch_destinations: List[np.ndarray] = []
     for step in range(1, config.steps_per_epoch + 1):
         random_draws = generator.random(n)
         leaving = online & (random_draws < config.leave_probability)
@@ -192,23 +199,56 @@ def simulate_churn(
         online = (online & ~leaving) | rejoining
         usable = online_at_repair & online
         usable_fraction = float(usable.mean())
-        metrics = summarize_routes([])
+        fused_index: Optional[int] = None
+        metrics: Optional[RoutingMetrics] = None
         if int(usable.sum()) >= 2:
-            pairs = sample_survivor_pairs(usable, config.pairs_per_step, generator)
+            sources, destinations = sample_survivor_pair_arrays(
+                usable, pairs_per_step, generator
+            )
             if engine == "batch":
-                pair_array = np.asarray(pairs, dtype=np.int64)
-                metrics = route_pairs(
-                    overlay, pair_array[:, 0], pair_array[:, 1], usable, batch_size=batch_size
-                ).to_metrics()
+                fused_index = len(epoch_masks)
+                epoch_masks.append(usable)
+                epoch_sources.append(sources)
+                epoch_destinations.append(destinations)
             else:
                 metrics = summarize_routes(
-                    overlay.route(source, destination, usable) for source, destination in pairs
+                    overlay.route(int(source), int(destination), usable)
+                    for source, destination in zip(sources.tolist(), destinations.tolist())
                 )
+        records.append(
+            (
+                step,
+                effective_failure_probability(config, step),
+                float(online.mean()),
+                usable_fraction,
+                fused_index,
+                metrics,
+            )
+        )
+    outcome = None
+    if epoch_masks:
+        outcome = route_pairs_stacked(
+            overlay,
+            np.concatenate(epoch_sources),
+            np.concatenate(epoch_destinations),
+            np.stack(epoch_masks),
+            np.repeat(np.arange(len(epoch_masks), dtype=np.int64), pairs_per_step),
+            batch_size=batch_size,
+        )
+    steps: List[ChurnStepResult] = []
+    for step, effective_q, online_fraction, usable_fraction, fused_index, metrics in records:
+        if metrics is None:
+            if fused_index is None:
+                metrics = summarize_routes([])
+            else:
+                metrics = outcome.sliced(
+                    fused_index * pairs_per_step, (fused_index + 1) * pairs_per_step
+                ).to_metrics()
         steps.append(
             ChurnStepResult(
                 step=step,
-                effective_q=effective_failure_probability(config, step),
-                online_fraction=float(online.mean()),
+                effective_q=effective_q,
+                online_fraction=online_fraction,
                 usable_fraction=usable_fraction,
                 metrics=metrics,
             )

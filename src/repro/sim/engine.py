@@ -21,17 +21,27 @@ Layered on top:
 
 * :func:`route_pairs` — route a batch of pairs on one overlay under one
   survival mask, returning a :class:`BatchRouteOutcome` of flat arrays.
+* :func:`route_pairs_stacked` — the fused multi-cell variant: pairs carry a
+  per-pair cell index into a stacked ``(n_cells, n_nodes)`` survival-mask
+  matrix, so every cell of a sweep that shares one overlay advances in the
+  same vectorized hop.  Kernels are row-independent, so stacked outcomes are
+  bit-identical to routing each cell separately.
 * :class:`SweepRunner` — fan a ``(geometry × q × replicate)`` grid out
   across ``multiprocessing`` workers, with deterministic per-cell seeding
   (identical results for any worker count) and memoization of completed
-  cells.
+  cells.  In fused mode (the default) cells that share an overlay build are
+  dispatched as one task, and the overlay's routing tables are published to
+  the workers once via ``multiprocessing.shared_memory`` instead of being
+  rebuilt per process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,11 +52,12 @@ from ..dht.metrics import RoutingMetrics
 from ..dht.routing import FAILURE_CODES, FailureReason, failure_reason_from_code
 from ..exceptions import InvalidParameterError, RoutingError, UnknownGeometryError
 from ..validation import check_failure_probability, check_non_negative_int, check_positive_int
-from .sampling import sample_survivor_pairs
+from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
     "BatchRouteOutcome",
     "route_pairs",
+    "route_pairs_stacked",
     "ROUTING_ENGINES",
     "check_engine",
     "SweepCell",
@@ -71,8 +82,6 @@ _DEAD_END_CODE = FAILURE_CODES[FailureReason.DEAD_END]
 _REQUIRED_FAILED_CODE = FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED]
 _HOP_LIMIT_CODE = FAILURE_CODES[FailureReason.HOP_LIMIT_EXCEEDED]
 
-#: Sentinel distance larger than any real distance in a d <= 52 bit space.
-_FAR = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True)
@@ -105,12 +114,13 @@ class BatchRouteOutcome:
     def failure_reason_counts(self) -> Dict[FailureReason, int]:
         """Count of failed pairs per failure reason (reasons that occurred only)."""
         counts: Dict[FailureReason, int] = {}
-        for code in np.unique(self.failure_codes):
-            if int(code) == _SUCCESS_CODE:
+        # Codes are small non-negative ints, so one bincount pass replaces a
+        # sort-based unique plus one scan per distinct code.
+        occurrences = np.bincount(self.failure_codes, minlength=len(FAILURE_CODES))
+        for code, count in enumerate(occurrences):
+            if code == _SUCCESS_CODE or not count:
                 continue
-            counts[failure_reason_from_code(code)] = int(
-                np.count_nonzero(self.failure_codes == code)
-            )
+            counts[failure_reason_from_code(code)] = int(count)
         return counts
 
     def to_metrics(self) -> RoutingMetrics:
@@ -138,81 +148,211 @@ class BatchRouteOutcome:
             failure_codes=np.concatenate([self.failure_codes, other.failure_codes]),
         )
 
+    def sliced(self, start: int, stop: int) -> "BatchRouteOutcome":
+        """The outcome restricted to pairs ``[start, stop)`` (array views, no copies).
+
+        Used by the fused drivers to split one stacked run back into its
+        per-cell outcomes.
+        """
+        return BatchRouteOutcome(
+            sources=self.sources[start:stop],
+            destinations=self.destinations[start:stop],
+            succeeded=self.succeeded[start:stop],
+            hops=self.hops[start:stop],
+            failure_codes=self.failure_codes[start:stop],
+        )
+
+
+def _empty_outcome() -> BatchRouteOutcome:
+    """A zero-pair outcome (degenerate cells contribute no routing attempts)."""
+    return BatchRouteOutcome(
+        sources=np.empty(0, dtype=np.int64),
+        destinations=np.empty(0, dtype=np.int64),
+        succeeded=np.empty(0, dtype=bool),
+        hops=np.empty(0, dtype=np.int64),
+        failure_codes=np.empty(0, dtype=np.int8),
+    )
+
 
 # --------------------------------------------------------------------- #
 # per-geometry batch kernels
 # --------------------------------------------------------------------- #
-def _tree_step(
-    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """One hop of Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
+# A kernel is a *factory*: called once per (overlay, survival mask) batch,
+# it precomputes mask-dependent tables and returns the per-hop ``step``
+# function.  The precomputation runs once per routed batch — one table pass
+# amortised over every hop of every pair — which is where most of the
+# per-hop gather work of the original kernels went.
+#
+# Every step routes under one flat survival vector, indexed by the same
+# identifiers the routing tables hold.  The fused multi-cell path reuses the
+# kernels unchanged by routing over a *disjoint union* of the overlay's
+# cells (see :class:`_UnionOverlayView`): virtual identifier
+# ``cell * n_nodes + node``, a flattened mask stack, and offset-shifted
+# tables.  Because ``n_nodes = 2^d``, the cell offset occupies bits above
+# the identifier space and cancels in every same-cell XOR, so the bitwise
+# geometries need no changes; the ring geometries read their clockwise
+# modulus from ``_ring_modulus`` instead of the (virtual) node count.
+def _ring_modulus(overlay) -> int:
+    """Modulus of clockwise identifier arithmetic (physical space size)."""
+    return getattr(overlay, "ring_modulus", overlay.n_nodes)
+
+
+def _distance_sentinel(alive: np.ndarray, dtype) -> int:
+    """An identifier whose XOR distance to any real identifier beats nothing.
+
+    The sentinel's set bit lies strictly above every routable identifier
+    (``alive.size - 1``), so ``sentinel ^ dst >= alive.size`` exceeds every
+    real same-cell distance (``< 2^d <= alive.size``) for any destination.
+    """
+    sentinel = 1 << int(alive.size - 1).bit_length()
+    if sentinel > np.iinfo(dtype).max // 2:  # pragma: no cover - absurdly large space
+        raise RoutingError(f"identifier space too large for a {np.dtype(dtype)} sentinel")
+    return sentinel
+
+
+def _tree_kernel(overlay, alive: np.ndarray):
+    """Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
     tables = overlay.neighbor_array()
-    diff = cur ^ dst
-    # Column of the highest-order differing bit: position - 1 = d - bit_length(diff).
-    # np.frexp returns the exponent e with diff = m * 2^e, m in [0.5, 1), i.e.
-    # exactly bit_length(diff); exact for diff < 2^53, far beyond any overlay
-    # that fits in memory.
-    bit_length = np.frexp(diff.astype(np.float64))[1]
-    nxt = tables[cur, overlay.d - bit_length]
-    return nxt, alive[nxt], _REQUIRED_FAILED_CODE
+    d = overlay.d
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        diff = cur ^ dst
+        # Column of the highest-order differing bit: position - 1 =
+        # d - bit_length(diff).  np.frexp returns the exponent e with
+        # diff = m * 2^e, m in [0.5, 1), i.e. exactly bit_length(diff);
+        # exact for diff < 2^53, far beyond any overlay that fits in memory.
+        bit_length = np.frexp(diff.astype(np.float64))[1]
+        nxt = tables[cur, d - bit_length]
+        return nxt, alive[nxt], _REQUIRED_FAILED_CODE
+
+    return step
 
 
-def _hypercube_step(
-    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """One hop of greedy hypercube routing: smallest alive neighbour correcting a differing bit."""
+def _hypercube_kernel(overlay, alive: np.ndarray):
+    """Greedy hypercube routing: smallest alive neighbour correcting a differing bit.
+
+    The hypercube wiring is deterministic — node ``x`` links to ``x ^ 2^j``
+    for every bit ``j`` (see ``HypercubeOverlay``) — so the factory packs
+    each node's alive neighbours into a *bitset* (bit ``j`` set iff
+    ``alive[x ^ 2^j]``) and the per-hop step is pure flat bit arithmetic:
+    no ``(batch, d)`` temporaries, no per-hop table gather.  The scalar
+    min-identifier rule becomes: clear the highest usable 1-bit of ``cur``
+    (the largest decrease) or, when no usable bit of ``cur`` is set, set the
+    lowest usable 0-bit (the smallest increase).
+    """
+    d = overlay.d
+    n = alive.size
+    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
+    identifiers = np.arange(n, dtype=dtype)
+    alive_bits = np.zeros(n, dtype=dtype)
+    for j in range(d):
+        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
+    one = dtype(1)
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        usable = alive_bits[cur] & (cur ^ dst)
+        decreasing = usable & cur
+        # Highest set bit of `decreasing` via frexp (see _tree_kernel); the
+        # shift is clamped so the unselected branch never shifts by -1.
+        high = np.frexp(decreasing.astype(np.float64))[1]
+        clear_highest = np.left_shift(one, np.maximum(high, 1).astype(dtype) - one)
+        increasing = usable & ~cur
+        set_lowest = increasing & -increasing
+        bit = np.where(decreasing != 0, clear_highest, set_lowest)
+        # usable == 0 leaves bit == 0, i.e. next == cur, discarded via ok.
+        return cur ^ bit, usable != 0, _DEAD_END_CODE
+
+    return step
+
+
+def _xor_kernel(overlay, alive: np.ndarray):
+    """Greedy XOR routing: the alive neighbour strictly closest to the destination.
+
+    The factory rewrites every dead table entry to a sentinel beyond the
+    identifier space once, so the per-hop step needs neither an aliveness
+    gather nor a masking pass: a dead neighbour's XOR distance
+    (``>= alive.size``) can never win the argmin against an alive one
+    (``< 2^d``), and when no alive neighbour improves on the current
+    distance the winner fails the single improvement check on the winning
+    entry — exactly the scalar dead-end verdict.
+    """
     tables = overlay.neighbor_array()
-    neighbors = tables[cur]  # (batch, d)
-    differing = ((cur ^ dst)[:, None] & (neighbors ^ cur[:, None])) != 0
-    usable = differing & alive[neighbors]
-    # The scalar rule picks min(candidates); a sentinel of n_nodes sorts last.
-    candidates = np.where(usable, neighbors, overlay.n_nodes)
-    nxt = candidates.min(axis=1)
-    ok = nxt < overlay.n_nodes
-    return np.where(ok, nxt, cur), ok, _DEAD_END_CODE
+    sentinel = _distance_sentinel(alive, tables.dtype)
+    masked_tables = np.where(alive[tables], tables, tables.dtype.type(sentinel))
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        neighbors = masked_tables[cur]  # (batch, d)
+        distances = neighbors ^ dst[:, None]
+        # XOR distances to a fixed destination are distinct across distinct
+        # neighbours, so the argmin is the unique scalar choice.
+        best = distances.argmin(axis=1)
+        rows = np.arange(cur.size)
+        ok = distances[rows, best] < (cur ^ dst)
+        return neighbors[rows, best], ok, _DEAD_END_CODE
+
+    return step
 
 
-def _xor_step(
-    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """One hop of greedy XOR routing: the alive neighbour strictly closest to the destination."""
+def _ring_kernel(overlay, alive: np.ndarray):
+    """Greedy clockwise routing without overshooting (Chord and Symphony).
+
+    Dead table entries are rewritten to the node itself once, which makes
+    their clockwise progress exactly zero — the one value the scalar rule
+    already excludes — so the per-hop step skips the aliveness gather.
+    """
     tables = overlay.neighbor_array()
-    neighbors = tables[cur]  # (batch, d)
-    distances = neighbors ^ dst[:, None]
-    usable = alive[neighbors] & (distances < (cur ^ dst)[:, None])
-    masked = np.where(usable, distances, _FAR)
-    # XOR distances to a fixed destination are distinct across distinct
-    # neighbours, so the argmin is the unique scalar choice.
-    best = masked.argmin(axis=1)
-    rows = np.arange(cur.size)
-    return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
+    n = _ring_modulus(overlay)
+    far = np.iinfo(tables.dtype).max
+    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
+    masked_tables = np.where(alive[tables], tables, self_column)
 
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        neighbors = masked_tables[cur]  # (batch, k)
+        # Same-cell differences stay inside (-n, n), so the physical modulus
+        # recovers the clockwise distances even on a disjoint-union view.
+        # Real neighbours have progress >= 1 (overlays never list a node as
+        # its own neighbour); dead ones were rewritten to progress == 0.
+        progress = (neighbors - cur[:, None]) % n
+        remaining = ((dst - cur) % n)[:, None]
+        usable = (progress != 0) & (progress <= remaining)
+        after = np.where(usable, remaining - progress, far)
+        # Ties in the remaining distance imply the same neighbour identifier,
+        # so argmin (first minimum) reproduces the scalar
+        # first-strict-improvement scan.
+        best = after.argmin(axis=1)
+        rows = np.arange(cur.size)
+        return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
 
-def _ring_step(
-    overlay: Overlay, cur: np.ndarray, dst: np.ndarray, alive: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """One hop of greedy clockwise routing without overshooting (Chord and Symphony)."""
-    tables = overlay.neighbor_array()
-    n = overlay.n_nodes
-    neighbors = tables[cur]  # (batch, k)
-    progress = (neighbors - cur[:, None]) % n
-    remaining = ((dst - cur) % n)[:, None]
-    usable = alive[neighbors] & (progress > 0) & (progress <= remaining)
-    after = np.where(usable, remaining - progress, _FAR)
-    # Ties in the remaining distance imply the same neighbour identifier, so
-    # argmin (first minimum) reproduces the scalar first-strict-improvement scan.
-    best = after.argmin(axis=1)
-    rows = np.arange(cur.size)
-    return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
+    return step
 
 
 _STEP_KERNELS = {
-    "tree": _tree_step,
-    "hypercube": _hypercube_step,
-    "xor": _xor_step,
-    "ring": _ring_step,
-    "smallworld": _ring_step,
+    "tree": _tree_kernel,
+    "hypercube": _hypercube_kernel,
+    "xor": _xor_kernel,
+    "ring": _ring_kernel,
+    "smallworld": _ring_kernel,
 }
+
+
+def _check_endpoints(
+    overlay: Overlay, sources: np.ndarray, destinations: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared endpoint checks of the single-mask and stacked batch paths."""
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if sources.ndim != 1 or destinations.ndim != 1 or sources.shape != destinations.shape:
+        raise RoutingError(
+            f"sources and destinations must be equal-length 1-D arrays, got shapes "
+            f"{sources.shape} and {destinations.shape}"
+        )
+    n = overlay.n_nodes
+    for label, endpoints in (("source", sources), ("destination", destinations)):
+        if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= n):
+            raise RoutingError(f"batch contains a {label} outside the identifier space [0, {n})")
+    if np.any(sources == destinations):
+        raise RoutingError("source and destination must differ")
+    return sources, destinations
 
 
 def _check_batch_arguments(
@@ -222,29 +362,64 @@ def _check_batch_arguments(
     alive: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized equivalent of ``Overlay._check_route_arguments`` for a pair batch."""
-    sources = np.asarray(sources, dtype=np.int64)
-    destinations = np.asarray(destinations, dtype=np.int64)
-    if sources.ndim != 1 or destinations.ndim != 1 or sources.shape != destinations.shape:
-        raise RoutingError(
-            f"sources and destinations must be equal-length 1-D arrays, got shapes "
-            f"{sources.shape} and {destinations.shape}"
-        )
+    sources, destinations = _check_endpoints(overlay, sources, destinations)
     n = overlay.n_nodes
     alive = np.asarray(alive)
     if alive.dtype != np.bool_:
         alive = alive.astype(bool)
     if alive.shape != (n,):
         raise RoutingError(f"survival mask has shape {alive.shape}, expected ({n},)")
-    for label, endpoints in (("source", sources), ("destination", destinations)):
-        if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= n):
-            raise RoutingError(f"batch contains a {label} outside the identifier space [0, {n})")
-    if np.any(sources == destinations):
-        raise RoutingError("source and destination must differ")
     if sources.size and not (alive[sources].all() and alive[destinations].all()):
         raise RoutingError(
             "routability is defined over surviving pairs: both end-points must be alive"
         )
     return sources, destinations, alive
+
+
+def _check_stacked_arguments(
+    overlay: Overlay,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    alive_stack: np.ndarray,
+    cell_indices: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Validate a fused multi-cell batch: stacked masks plus per-pair cell rows."""
+    sources, destinations = _check_endpoints(overlay, sources, destinations)
+    n = overlay.n_nodes
+    alive_stack = np.asarray(alive_stack)
+    if alive_stack.dtype != np.bool_:
+        alive_stack = alive_stack.astype(bool)
+    if alive_stack.ndim != 2 or alive_stack.shape[1] != n:
+        raise RoutingError(
+            f"stacked survival mask has shape {alive_stack.shape}, expected (n_cells, {n})"
+        )
+    cell_indices = np.asarray(cell_indices, dtype=np.int64)
+    if cell_indices.shape != sources.shape:
+        raise RoutingError(
+            f"cell_indices has shape {cell_indices.shape}, expected {sources.shape}"
+        )
+    n_cells = alive_stack.shape[0]
+    if cell_indices.size and (cell_indices.min() < 0 or cell_indices.max() >= n_cells):
+        raise RoutingError(f"batch contains a cell index outside the mask stack [0, {n_cells})")
+    if sources.size and not (
+        alive_stack[cell_indices, sources].all() and alive_stack[cell_indices, destinations].all()
+    ):
+        raise RoutingError(
+            "routability is defined over surviving pairs: both end-points must be alive "
+            "in their cell's survival mask"
+        )
+    return sources, destinations, alive_stack, cell_indices
+
+
+def _geometry_kernel(overlay):
+    """The step-kernel factory for ``overlay``'s geometry, or a clear error."""
+    try:
+        return _STEP_KERNELS[overlay.geometry_name]
+    except KeyError as exc:
+        raise UnknownGeometryError(
+            f"no batch kernel for geometry {overlay.geometry_name!r}; "
+            f"expected one of {sorted(_STEP_KERNELS)}"
+        ) from exc
 
 
 def route_pairs(
@@ -270,24 +445,172 @@ def route_pairs(
         identical end-points, a dead end-point, an out-of-space identifier
         or a malformed survival mask.
     """
-    try:
-        kernel = _STEP_KERNELS[overlay.geometry_name]
-    except KeyError as exc:
-        raise UnknownGeometryError(
-            f"no batch kernel for geometry {overlay.geometry_name!r}; "
-            f"expected one of {sorted(_STEP_KERNELS)}"
-        ) from exc
+    kernel = _geometry_kernel(overlay)
     sources, destinations, alive = _check_batch_arguments(overlay, sources, destinations, alive)
+    return _route_chunked(overlay, kernel, sources, destinations, alive, batch_size)
+
+
+#: Upper bound on union-table entries (~32 MB at int32, ~64 MB at int64,
+#: counted twice where a kernel factory builds a masked copy).  Stacks whose
+#: union table would exceed it are routed as bounded-width sub-unions, so
+#: fused peak memory stays capped no matter how many cells are fused.
+_MAX_UNION_TABLE_ELEMENTS = 1 << 23
+
+
+class _UnionOverlayView:
+    """A disjoint union of ``n_cells`` copies of one overlay, as one big overlay.
+
+    Cell ``c``'s copy of node ``v`` gets the virtual identifier
+    ``c * n_nodes + v``.  Because ``n_nodes = 2^d``, the cell offset lives in
+    bits above the identifier space: it cancels in every same-cell XOR (tree,
+    hypercube and XOR distance arithmetic are untouched) and drops out of
+    same-cell differences (ring progress uses the physical modulus, exposed
+    as :attr:`ring_modulus`).  Routing a pair on the union with the flattened
+    mask stack as its survival vector therefore follows exactly the
+    trajectory the pair would take on the physical overlay under its own
+    cell's mask — which is what makes the fused path bit-identical — while
+    every hop keeps the cheap flat-array indexing of the per-cell kernels.
+
+    The expanded table costs ``n_cells ×`` the physical table's memory; it is
+    built once per fused batch and released with the view.
+    """
+
+    def __init__(self, overlay, n_cells: int) -> None:
+        self.geometry_name = overlay.geometry_name
+        self.system_name = overlay.system_name
+        self.d = overlay.d
+        self.ring_modulus = overlay.n_nodes
+        self.n_nodes = n_cells * overlay.n_nodes
+        self._hop_limit = overlay.hop_limit()
+        table = overlay.neighbor_array()
+        # Virtual identifiers fit 32 bits for any realistic sweep; 32-bit
+        # routing state halves the memory traffic of every gather and
+        # temporary in the hop kernels.
+        dtype = np.int32 if self.n_nodes <= np.iinfo(np.int32).max else np.int64
+        offsets = np.arange(n_cells, dtype=dtype) * dtype(overlay.n_nodes)
+        self._table = (table.astype(dtype)[None, :, :] + offsets[:, None, None]).reshape(
+            self.n_nodes, table.shape[1]
+        )
+
+    def neighbor_array(self) -> np.ndarray:
+        return self._table
+
+    def hop_limit(self) -> int:
+        return self._hop_limit
+
+
+def route_pairs_stacked(
+    overlay: Overlay,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    alive_stack: np.ndarray,
+    cell_indices: Sequence[int],
+    *,
+    batch_size: Optional[int] = None,
+) -> BatchRouteOutcome:
+    """Route pairs from many sweep cells of one overlay in a single fused batch.
+
+    ``alive_stack`` is a ``(n_cells, n_nodes)`` boolean matrix — one survival
+    mask per cell — and ``cell_indices[i]`` names the mask row pair ``i``
+    routes under, so a whole ``(q × replicate)`` column of a sweep grid
+    advances per vectorized hop instead of one small kernel launch per cell.
+    Internally the batch routes over a disjoint union of the cells (see
+    :class:`_UnionOverlayView`), which keeps the per-hop cost identical to
+    the single-mask path.  Pairs are routed independently, so outcomes are
+    bit-identical to calling :func:`route_pairs` once per cell with that
+    cell's mask; mask rows no pair references (e.g. degenerate cells) are
+    simply ignored.
+
+    Memory is bounded on both axes: ``batch_size`` chunks the pair batches
+    (the per-hop working set), and union tables are capped at
+    :data:`_MAX_UNION_TABLE_ELEMENTS` entries — wider stacks are routed as
+    bounded-width sub-unions, which cannot change any outcome.
+
+    Raises
+    ------
+    RoutingError
+        Under the conditions of :func:`route_pairs`, plus a cell index
+        outside the stack or an end-point that is dead *in its own cell's
+        mask* (aliveness in another cell's mask does not count).
+    """
+    kernel = _geometry_kernel(overlay)
+    sources, destinations, alive_stack, cell_indices = _check_stacked_arguments(
+        overlay, sources, destinations, alive_stack, cell_indices
+    )
+    n_cells = alive_stack.shape[0]
+    if n_cells == 1:
+        # A single cell needs no union arithmetic; route under its mask directly.
+        return _route_chunked(overlay, kernel, sources, destinations, alive_stack[0], batch_size)
+    table = overlay.neighbor_array()
+    cells_per_union = max(1, _MAX_UNION_TABLE_ELEMENTS // (table.shape[0] * table.shape[1]))
+    if n_cells > cells_per_union:
+        # Bound peak memory: route bounded-width sub-unions and scatter the
+        # per-pair results back.  Cells are independent, so the split cannot
+        # change any outcome.
+        succeeded = np.empty(sources.size, dtype=bool)
+        hops = np.empty(sources.size, dtype=np.int64)
+        codes = np.empty(sources.size, dtype=np.int8)
+        for start in range(0, n_cells, cells_per_union):
+            stop = start + cells_per_union
+            selected = (cell_indices >= start) & (cell_indices < stop)
+            sub_outcome = route_pairs_stacked(
+                overlay,
+                sources[selected],
+                destinations[selected],
+                alive_stack[start:stop],
+                cell_indices[selected] - start,
+                batch_size=batch_size,
+            )
+            succeeded[selected] = sub_outcome.succeeded
+            hops[selected] = sub_outcome.hops
+            codes[selected] = sub_outcome.failure_codes
+        return BatchRouteOutcome(
+            sources=sources,
+            destinations=destinations,
+            succeeded=succeeded,
+            hops=hops,
+            failure_codes=codes,
+        )
+    union = _UnionOverlayView(overlay, n_cells)
+    dtype = union.neighbor_array().dtype
+    offsets = cell_indices * overlay.n_nodes
+    outcome = _route_chunked(
+        union,
+        kernel,
+        (sources + offsets).astype(dtype, copy=False),
+        (destinations + offsets).astype(dtype, copy=False),
+        alive_stack.reshape(-1),
+        batch_size,
+    )
+    # Report the physical end-points, not the union's virtual identifiers.
+    return BatchRouteOutcome(
+        sources=sources,
+        destinations=destinations,
+        succeeded=outcome.succeeded,
+        hops=outcome.hops,
+        failure_codes=outcome.failure_codes,
+    )
+
+
+def _route_chunked(
+    overlay,
+    kernel,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    alive: np.ndarray,
+    batch_size: Optional[int],
+) -> BatchRouteOutcome:
+    """Apply the optional ``batch_size`` chunking shared by both routing entry points."""
+    step = kernel(overlay, alive)  # one mask-dependent precomputation per batch
     if batch_size is not None:
         batch_size = check_positive_int(batch_size, "batch_size")
         if sources.size > batch_size:
             chunks = [
                 _route_batch(
                     overlay,
-                    kernel,
+                    step,
                     sources[start : start + batch_size],
                     destinations[start : start + batch_size],
-                    alive,
                 )
                 for start in range(0, sources.size, batch_size)
             ]
@@ -298,17 +621,47 @@ def route_pairs(
                 hops=np.concatenate([c.hops for c in chunks]),
                 failure_codes=np.concatenate([c.failure_codes for c in chunks]),
             )
-    return _route_batch(overlay, kernel, sources, destinations, alive)
+    return _route_batch(overlay, step, sources, destinations)
+
+
+#: Active pairs handed to a step kernel per call.  Kernels allocate a handful
+#: of ``(batch, degree)`` temporaries per hop; blocking the batch keeps those
+#: resident in cache even when a fused multi-cell batch is hundreds of
+#: thousands of pairs wide.  Kernels are row-independent, so blocking cannot
+#: change any outcome.
+_KERNEL_BLOCK = 2048
+
+
+def _step_blocked(step, cur: np.ndarray, dst: np.ndarray):
+    """Run one hop's step over cache-sized blocks of the active set."""
+    size = cur.size
+    if size <= _KERNEL_BLOCK:
+        return step(cur, dst)
+    next_hop = np.empty(size, dtype=cur.dtype)
+    ok = np.empty(size, dtype=bool)
+    fail_code = _SUCCESS_CODE
+    for start in range(0, size, _KERNEL_BLOCK):
+        stop = start + _KERNEL_BLOCK
+        block_next, block_ok, fail_code = step(cur[start:stop], dst[start:stop])
+        next_hop[start:stop] = block_next
+        ok[start:stop] = block_ok
+    return next_hop, ok, fail_code
 
 
 def _route_batch(
-    overlay: Overlay,
-    kernel,
+    overlay,
+    step,
     sources: np.ndarray,
     destinations: np.ndarray,
-    alive: np.ndarray,
 ) -> BatchRouteOutcome:
-    """Core batch loop: advance all active pairs one hop per iteration."""
+    """Core batch loop: advance all active pairs one hop per iteration.
+
+    A pair is active from iteration 0 until it terminates and hops exactly
+    once per iteration it is active, so every active pair has taken
+    ``iteration`` hops — the scalar path's per-step hop-budget check reduces
+    to one counter comparison, and per-pair hop counts are written only at
+    the three termination events (arrival, drop, budget exhaustion).
+    """
     n_pairs = sources.size
     hop_limit = overlay.hop_limit()
     current = sources.copy()
@@ -316,26 +669,30 @@ def _route_batch(
     succeeded = np.zeros(n_pairs, dtype=bool)
     codes = np.full(n_pairs, _SUCCESS_CODE, dtype=np.int8)
     active = np.arange(n_pairs, dtype=np.int64)  # end-points differ by precondition
+    iteration = 0
 
     while active.size:
-        # The scalar path checks the hop budget before every forwarding step.
-        exhausted = hops[active] >= hop_limit
-        if exhausted.any():
-            codes[active[exhausted]] = _HOP_LIMIT_CODE
-            active = active[~exhausted]
-            if not active.size:
-                break
-        next_hop, ok, fail_code = kernel(overlay, current[active], destinations[active], alive)
+        if iteration >= hop_limit:
+            # The scalar path checks the budget before every forwarding step;
+            # the failed hop is not counted, so hops stays at the limit.
+            codes[active] = _HOP_LIMIT_CODE
+            hops[active] = iteration
+            break
+        next_hop, ok, fail_code = _step_blocked(step, current[active], destinations[active])
         if not ok.all():
-            codes[active[~ok]] = fail_code
+            dropped = active[~ok]
+            codes[dropped] = fail_code
+            hops[dropped] = iteration  # the failed hop is not counted
             next_hop = next_hop[ok]
             active = active[ok]
         current[active] = next_hop
-        hops[active] += 1
-        arrived = current[active] == destinations[active]
+        arrived = next_hop == destinations[active]
         if arrived.any():
-            succeeded[active[arrived]] = True
+            delivered = active[arrived]
+            succeeded[delivered] = True
+            hops[delivered] = iteration + 1
             active = active[~arrived]
+        iteration += 1
 
     return BatchRouteOutcome(
         sources=sources,
@@ -393,8 +750,11 @@ def _cell_entropy(base_seed: int, purpose: str, cell_key: Tuple) -> List[int]:
 
 # Overlays are deterministic functions of their build seed, so worker
 # processes (and the in-process path) cache them per build key instead of
-# rebuilding one per q cell.
-_OVERLAY_CACHE: Dict[Tuple, Overlay] = {}
+# rebuilding one per q cell.  The cache is a small bounded LRU: one entry
+# per overlay keeps mixed-geometry grids from thrashing rebuilds, while the
+# bound caps the memory a long-lived worker can accumulate.
+_OVERLAY_CACHE: OrderedDict[Tuple, Overlay] = OrderedDict()
+_OVERLAY_CACHE_CAPACITY = 4
 
 
 def _cached_overlay(
@@ -415,36 +775,211 @@ def _cached_overlay(
             np.random.SeedSequence(_cell_entropy(base_seed, "overlay", (geometry, d, replicate)))
         )
         overlay = OVERLAY_CLASSES[geometry].build(d, rng=build_rng, **dict(overlay_options))
-        _OVERLAY_CACHE.clear()  # keep at most one overlay per worker: they can be large
         _OVERLAY_CACHE[key] = overlay
+        while len(_OVERLAY_CACHE) > _OVERLAY_CACHE_CAPACITY:
+            _OVERLAY_CACHE.popitem(last=False)
+    else:
+        _OVERLAY_CACHE.move_to_end(key)
     return overlay
+
+
+# --------------------------------------------------------------------- #
+# shared-memory overlay plane
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _SharedTableRef:
+    """Where one overlay's published routing tables live, plus the overlay
+    attributes the batch kernels route with.  Picklable, so it travels in a
+    task spec while the table itself stays in shared memory."""
+
+    shm_name: str
+    shape: Tuple[int, int]
+    dtype: str
+    geometry: str
+    system: str
+    d: int
+    n_nodes: int
+    hop_limit: int
+
+
+class _SharedOverlayView:
+    """Just enough of the :class:`Overlay` surface for the batch kernels,
+    backed by a routing table another process published to shared memory."""
+
+    def __init__(self, ref: _SharedTableRef, table: np.ndarray) -> None:
+        self.geometry_name = ref.geometry
+        self.system_name = ref.system
+        self.d = ref.d
+        self.n_nodes = ref.n_nodes
+        self._hop_limit = ref.hop_limit
+        self._table = table
+
+    def neighbor_array(self) -> np.ndarray:
+        return self._table
+
+    def hop_limit(self) -> int:
+        return self._hop_limit
+
+
+def _publish_overlay_table(overlay: Overlay) -> Tuple[shared_memory.SharedMemory, _SharedTableRef]:
+    """Copy ``overlay``'s routing tables into a fresh shared-memory segment.
+
+    The caller owns the returned segment and must ``close()``/``unlink()``
+    it once the dispatch that references it has completed.
+    """
+    table = overlay.neighbor_array()
+    segment = shared_memory.SharedMemory(create=True, size=table.nbytes)
+    staging = np.ndarray(table.shape, dtype=table.dtype, buffer=segment.buf)
+    staging[:] = table
+    del staging  # drop the buffer export so close() cannot raise BufferError
+    ref = _SharedTableRef(
+        shm_name=segment.name,
+        shape=tuple(table.shape),
+        dtype=table.dtype.str,
+        geometry=overlay.geometry_name,
+        system=overlay.system_name,
+        d=overlay.d,
+        n_nodes=overlay.n_nodes,
+        hop_limit=overlay.hop_limit(),
+    )
+    return segment, ref
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    The publishing process owns the segment's lifetime; a worker that also
+    registered it with the resource tracker would trigger spurious
+    leaked-segment warnings (and double unlinks) at shutdown.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # Python >= 3.13
+    except TypeError:
+        # Older interpreters always register on attach.  Suppressing the
+        # registration (rather than unregistering afterwards) is the only
+        # variant that is correct under both start methods: with fork the
+        # tracker is shared with the publisher, so an unregister here would
+        # erase the publisher's own bookkeeping.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+# Worker-side attachments, bounded like the overlay cache: a persistent pool
+# serves many dispatches, and each mapped segment pins real memory until the
+# last map closes.
+_SHARED_TABLE_CACHE: OrderedDict[str, Tuple[shared_memory.SharedMemory, _SharedOverlayView]] = (
+    OrderedDict()
+)
+_SHARED_TABLE_CACHE_CAPACITY = 4
+
+
+def _attached_overlay_view(ref: _SharedTableRef) -> _SharedOverlayView:
+    """The worker-side overlay view for ``ref``, attached zero-copy and cached."""
+    entry = _SHARED_TABLE_CACHE.get(ref.shm_name)
+    if entry is not None:
+        _SHARED_TABLE_CACHE.move_to_end(ref.shm_name)
+        return entry[1]
+    segment = _attach_shared_memory(ref.shm_name)
+    table = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    table.flags.writeable = False
+    view = _SharedOverlayView(ref, table)
+    _SHARED_TABLE_CACHE[ref.shm_name] = (segment, view)
+    while len(_SHARED_TABLE_CACHE) > _SHARED_TABLE_CACHE_CAPACITY:
+        _, (old_segment, old_view) = _SHARED_TABLE_CACHE.popitem(last=False)
+        del old_view  # release the buffer export before unmapping
+        try:
+            old_segment.close()
+        except BufferError:  # pragma: no cover - a stale external reference
+            pass
+    return view
+
+
+def _cell_routing_rng(base_seed: int, cell: SweepCell) -> np.random.Generator:
+    """The per-cell routing stream; identical for the fused and per-cell paths."""
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            _cell_entropy(base_seed, "routing", (cell.geometry, cell.d, cell.replicate, cell.q))
+        )
+    )
+
+
+def _sample_cell(
+    overlay, cell: SweepCell, pairs: int, base_seed: int
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Sample one cell's survival mask and pairs; ``None`` marks a degenerate cell."""
+    rng = _cell_routing_rng(base_seed, cell)
+    alive = survival_mask(overlay.n_nodes, cell.q, rng)
+    if int(alive.sum()) < 2:
+        return None
+    sources, destinations = sample_survivor_pair_arrays(alive, pairs, rng)
+    return alive, sources, destinations
 
 
 def _run_sweep_cell(spec: Tuple) -> SweepCellResult:
     """Worker entry point: route one cell of the sweep grid (top-level for pickling)."""
     cell, pairs, base_seed, batch_size, overlay_options = spec
     overlay = _cached_overlay(cell.geometry, cell.d, cell.replicate, base_seed, overlay_options)
-    rng = np.random.default_rng(
-        np.random.SeedSequence(
-            _cell_entropy(base_seed, "routing", (cell.geometry, cell.d, cell.replicate, cell.q))
+    sampled = _sample_cell(overlay, cell, pairs, base_seed)
+    if sampled is None:
+        return SweepCellResult(
+            cell=cell, pairs=pairs, metrics=_empty_outcome().to_metrics(), degenerate=True
         )
-    )
-    alive = survival_mask(overlay.n_nodes, cell.q, rng)
-    if int(alive.sum()) < 2:
-        empty = BatchRouteOutcome(
-            sources=np.empty(0, dtype=np.int64),
-            destinations=np.empty(0, dtype=np.int64),
-            succeeded=np.empty(0, dtype=bool),
-            hops=np.empty(0, dtype=np.int64),
-            failure_codes=np.empty(0, dtype=np.int8),
-        )
-        return SweepCellResult(cell=cell, pairs=pairs, metrics=empty.to_metrics(), degenerate=True)
-    pair_list = sample_survivor_pairs(alive, pairs, rng)
-    pair_array = np.asarray(pair_list, dtype=np.int64)
-    outcome = route_pairs(
-        overlay, pair_array[:, 0], pair_array[:, 1], alive, batch_size=batch_size
-    )
+    alive, sources, destinations = sampled
+    outcome = route_pairs(overlay, sources, destinations, alive, batch_size=batch_size)
     return SweepCellResult(cell=cell, pairs=pairs, metrics=outcome.to_metrics())
+
+
+def _run_fused_group(spec: Tuple) -> List[SweepCellResult]:
+    """Worker entry point: route every cell sharing one overlay in a single fused batch.
+
+    The per-cell seed streams are the ones :func:`_run_sweep_cell` consumes,
+    and the stacked kernels are row-independent, so each cell's metrics are
+    bit-identical to the per-cell dispatch path.
+    """
+    cells, pairs, base_seed, batch_size, overlay_options, table_ref = spec
+    if table_ref is not None:
+        overlay = _attached_overlay_view(table_ref)
+    else:
+        first = cells[0]
+        overlay = _cached_overlay(
+            first.geometry, first.d, first.replicate, base_seed, overlay_options
+        )
+    results: Dict[SweepCell, SweepCellResult] = {}
+    masks: List[np.ndarray] = []
+    sources: List[np.ndarray] = []
+    destinations: List[np.ndarray] = []
+    routed: List[SweepCell] = []
+    for cell in cells:
+        sampled = _sample_cell(overlay, cell, pairs, base_seed)
+        if sampled is None:
+            results[cell] = SweepCellResult(
+                cell=cell, pairs=pairs, metrics=_empty_outcome().to_metrics(), degenerate=True
+            )
+            continue
+        alive, cell_sources, cell_destinations = sampled
+        masks.append(alive)
+        sources.append(cell_sources)
+        destinations.append(cell_destinations)
+        routed.append(cell)
+    if routed:
+        outcome = route_pairs_stacked(
+            overlay,
+            np.concatenate(sources),
+            np.concatenate(destinations),
+            np.stack(masks),
+            np.repeat(np.arange(len(routed), dtype=np.int64), pairs),
+            batch_size=batch_size,
+        )
+        for index, cell in enumerate(routed):
+            cell_outcome = outcome.sliced(index * pairs, (index + 1) * pairs)
+            results[cell] = SweepCellResult(
+                cell=cell, pairs=pairs, metrics=cell_outcome.to_metrics()
+            )
+    return [results[cell] for cell in cells]
 
 
 class SweepRunner:
@@ -452,9 +987,19 @@ class SweepRunner:
 
     Every cell of the grid is seeded independently from ``base_seed`` (see
     :class:`SweepCell`), so the measured metrics are identical for any
-    ``workers`` setting and any execution order — ``workers`` only changes
-    wall-clock time.  Completed cells are memoized on the runner; re-running
-    an overlapping grid only computes the missing cells.
+    ``workers`` setting, any execution order, and both dispatch modes —
+    ``workers`` and ``fused`` only change wall-clock time.  Completed cells
+    are memoized on the runner; re-running an overlapping grid only computes
+    the missing cells.
+
+    In fused mode (the default) all pending cells that share an overlay
+    build — every ``q`` of one ``(geometry, replicate)`` — are dispatched as
+    **one** task routed through :func:`route_pairs_stacked`, and with
+    ``workers > 1`` each overlay's routing tables are published once via
+    ``multiprocessing.shared_memory`` so the persistent worker pool maps
+    them zero-copy instead of rebuilding per process.  ``fused=False``
+    restores the PR-1 one-task-per-cell dispatch (useful for benchmarking
+    the fused win and as a second implementation to cross-check).
 
     Parameters
     ----------
@@ -464,9 +1009,15 @@ class SweepRunner:
         Independent failure patterns per ``(geometry, q)`` point (the scalar
         driver's ``trials``).
     workers:
-        Worker processes to spread cells over; ``1`` runs everything in-process.
+        Worker processes to spread tasks over; ``1`` runs everything
+        in-process.  The pool is created lazily and persists across ``run``
+        calls; ``close()`` (or using the runner as a context manager)
+        releases it.
     batch_size:
-        Optional chunk size forwarded to :func:`route_pairs`.
+        Optional chunk size forwarded to the routing engine.
+    fused:
+        ``True`` (default) dispatches one fused task per overlay build;
+        ``False`` dispatches one task per cell.
     overlay_options:
         Extra keyword arguments forwarded to the overlay builders (e.g.
         ``near_neighbors``/``shortcuts`` for Symphony).
@@ -480,6 +1031,7 @@ class SweepRunner:
         workers: int = 1,
         batch_size: Optional[int] = None,
         base_seed: int = 20060328,
+        fused: bool = True,
         overlay_options: Optional[Mapping[str, object]] = None,
     ) -> None:
         self._pairs = check_positive_int(pairs, "pairs")
@@ -491,13 +1043,59 @@ class SweepRunner:
         # Seed 0 is valid (np.random accepts it, and PairWorkload.derived_seed
         # can produce it), so only negatives are rejected.
         self._base_seed = check_non_negative_int(base_seed, "base_seed")
+        self._fused = bool(fused)
         self._overlay_options = tuple(sorted((overlay_options or {}).items()))
         self._completed: Dict[SweepCell, SweepCellResult] = {}
+        self._pool = None
+        self._pool_size = 0
 
     @property
     def completed_cells(self) -> int:
         """Number of distinct cells memoized so far."""
         return len(self._completed)
+
+    @property
+    def fused(self) -> bool:
+        """Whether pending cells are dispatched fused by overlay build."""
+        return self._fused
+
+    # ------------------------------------------------------------------ #
+    # worker-pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, task_count: int):
+        """The persistent worker pool, sized to ``min(workers, tasks)``.
+
+        A dispatch with more tasks than the existing pool has processes (and
+        head-room under ``workers``) recreates the pool at the larger size;
+        otherwise the existing pool is reused.
+        """
+        desired = min(self._workers, task_count)
+        if self._pool is not None and self._pool_size < desired:
+            self.close()
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(processes=desired)
+            self._pool_size = desired
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (memoized results are kept)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _grid(
         self, geometries: Sequence[str], d: int, failure_probabilities: Sequence[float]
@@ -525,22 +1123,85 @@ class SweepRunner:
         grid = self._grid(geometries, d, failure_probabilities)
         pending = [cell for cell in grid if cell not in self._completed]
         if pending:
-            specs = [
-                (cell, self._pairs, self._base_seed, self._batch_size, self._overlay_options)
-                for cell in pending
-            ]
-            if self._workers > 1 and len(specs) > 1:
-                # Chunk by (geometry, replicate) ordering so each worker reuses
-                # its cached overlay across the q values it is handed.
-                with multiprocessing.get_context().Pool(
-                    processes=min(self._workers, len(specs))
-                ) as pool:
-                    results = pool.map(_run_sweep_cell, specs)
+            if self._fused:
+                results = self._run_fused(pending)
             else:
-                results = [_run_sweep_cell(spec) for spec in specs]
+                results = self._run_per_cell(pending)
             for result in results:
                 self._completed[result.cell] = result
         return {cell: self._completed[cell] for cell in grid}
+
+    def _run_per_cell(self, pending: List[SweepCell]) -> List[SweepCellResult]:
+        """PR-1 dispatch: one engine task per cell."""
+        specs = [
+            (cell, self._pairs, self._base_seed, self._batch_size, self._overlay_options)
+            for cell in pending
+        ]
+        if self._workers > 1 and len(specs) > 1:
+            # Chunk by (geometry, replicate) ordering so each worker reuses
+            # its cached overlay across the q values it is handed.
+            return self._ensure_pool(len(specs)).map(_run_sweep_cell, specs)
+        return [_run_sweep_cell(spec) for spec in specs]
+
+    def _run_fused(self, pending: List[SweepCell]) -> List[SweepCellResult]:
+        """Fused dispatch: one task per overlay build, routed as a stacked batch.
+
+        With a worker pool, each group's overlay is built once in the parent
+        and its routing tables are published to shared memory; the segments
+        are unlinked as soon as the dispatch completes (workers keep their
+        maps, which stay valid until they are evicted from the attachment
+        cache).
+        """
+        groups: OrderedDict[Tuple, List[SweepCell]] = OrderedDict()
+        for cell in pending:
+            groups.setdefault((cell.geometry, cell.d, cell.replicate), []).append(cell)
+        use_pool = self._workers > 1 and len(groups) > 1
+        published: List[shared_memory.SharedMemory] = []
+        try:
+            if use_pool:
+                # Dispatch each group the moment its tables are published so
+                # workers route earlier groups while the parent is still
+                # building later overlays.
+                pool = self._ensure_pool(len(groups))
+                dispatched = []
+                for (geometry, d, replicate), cells in groups.items():
+                    overlay = _cached_overlay(
+                        geometry, d, replicate, self._base_seed, self._overlay_options
+                    )
+                    segment, table_ref = _publish_overlay_table(overlay)
+                    published.append(segment)
+                    spec = (
+                        tuple(cells),
+                        self._pairs,
+                        self._base_seed,
+                        self._batch_size,
+                        self._overlay_options,
+                        table_ref,
+                    )
+                    dispatched.append(pool.apply_async(_run_fused_group, (spec,)))
+                grouped = [task.get() for task in dispatched]
+            else:
+                grouped = [
+                    _run_fused_group(
+                        (
+                            tuple(cells),
+                            self._pairs,
+                            self._base_seed,
+                            self._batch_size,
+                            self._overlay_options,
+                            None,
+                        )
+                    )
+                    for cells in groups.values()
+                ]
+        finally:
+            for segment in published:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except Exception:  # pragma: no cover - cleanup must not mask errors
+                    pass
+        return [result for group in grouped for result in group]
 
     def sweep(
         self, geometry: str, d: int, failure_probabilities: Sequence[float]

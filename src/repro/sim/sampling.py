@@ -13,19 +13,23 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 from ..validation import check_positive_int
 
-__all__ = ["sample_survivor_pairs", "all_survivor_pairs"]
+__all__ = ["sample_survivor_pairs", "sample_survivor_pair_arrays", "all_survivor_pairs"]
 
 
-def sample_survivor_pairs(
+def sample_survivor_pair_arrays(
     alive: np.ndarray,
     count: int,
     rng: np.random.Generator,
-) -> List[Tuple[int, int]]:
-    """Sample ``count`` ordered (source, destination) pairs of distinct surviving nodes.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` ordered (source, destination) pairs as two int64 arrays.
 
-    Sampling is uniform over ordered pairs, with replacement across pairs
-    (the same pair may be drawn twice), matching how simulation studies such
-    as Gummadi et al. estimate the fraction of failed paths.
+    Sampling is uniform over ordered pairs of distinct surviving nodes, with
+    replacement across pairs (the same pair may be drawn twice), matching how
+    simulation studies such as Gummadi et al. estimate the fraction of failed
+    paths.  This is the array-native variant the batch engine consumes
+    directly; :func:`sample_survivor_pairs` wraps it into the original
+    list-of-tuples API.  Both consume the random stream identically, so
+    seeded results are interchangeable between them.
 
     Raises
     ------
@@ -40,8 +44,8 @@ def sample_survivor_pairs(
         raise InvalidParameterError(
             f"cannot sample pairs: only {survivors.size} node(s) survived"
         )
-    sources = survivors[rng.integers(0, survivors.size, size=count)]
-    destinations = survivors[rng.integers(0, survivors.size, size=count)]
+    sources = survivors[rng.integers(0, survivors.size, size=count)].astype(np.int64)
+    destinations = survivors[rng.integers(0, survivors.size, size=count)].astype(np.int64)
     # Only colliding pairs need scalar redraws; resolving them in pair order,
     # one draw at a time, consumes the random stream exactly like redrawing
     # inside a per-pair loop would, so seeded results are stream-stable.
@@ -50,6 +54,21 @@ def sample_survivor_pairs(
         while destination == sources[index]:
             destination = survivors[int(rng.integers(0, survivors.size))]
         destinations[index] = destination
+    return sources, destinations
+
+
+def sample_survivor_pairs(
+    alive: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Sample ``count`` ordered (source, destination) pairs of distinct surviving nodes.
+
+    List-of-tuples view of :func:`sample_survivor_pair_arrays` (same sampling
+    rules, same random-stream consumption); kept for callers that iterate
+    pairs one at a time.
+    """
+    sources, destinations = sample_survivor_pair_arrays(alive, count, rng)
     return list(zip(sources.tolist(), destinations.tolist()))
 
 

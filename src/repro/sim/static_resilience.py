@@ -17,10 +17,11 @@ The module exposes three levels of API:
   from a geometry name.
 
 Routing runs on the vectorized batch engine (:mod:`repro.sim.engine`) by
-default; pass ``engine="scalar"`` to route pairs one at a time through the
-overlays' ``route`` methods instead.  The two paths are property-tested to
-produce identical outcomes pair-for-pair (the scalar path is the oracle),
-so the choice only affects speed.
+default, with all trials of a measurement fused into one stacked-mask
+kernel invocation; pass ``engine="scalar"`` to route pairs one at a time
+through the overlays' ``route`` methods instead.  The two paths are
+property-tested to produce identical outcomes pair-for-pair (the scalar
+path is the oracle), so the choice only affects speed.
 """
 
 from __future__ import annotations
@@ -45,8 +46,8 @@ from ..validation import (
     check_identifier_length,
     check_positive_int,
 )
-from .engine import ROUTING_ENGINES, check_engine, route_pairs
-from .sampling import sample_survivor_pairs
+from .engine import ROUTING_ENGINES, check_engine, route_pairs_stacked
+from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
     "StaticResilienceResult",
@@ -201,10 +202,11 @@ def measure_routability(
         Optional alternative failure model; defaults to the paper's uniform
         node-failure model with probability ``q``.
     engine:
-        ``"batch"`` routes all pairs of a trial at once through the
-        vectorized engine; ``"scalar"`` routes them one at a time through
-        ``overlay.route``.  Both consume the random stream identically and
-        produce identical metrics.
+        ``"batch"`` stacks all trials' survival masks and routes every
+        sampled pair of the measurement in one fused engine invocation
+        (:func:`repro.sim.engine.route_pairs_stacked`); ``"scalar"`` routes
+        pairs one at a time through ``overlay.route``.  Both consume the
+        random stream identically and produce identical metrics.
     batch_size:
         Optional chunk size for the batch engine (bounds peak memory).
     """
@@ -217,24 +219,43 @@ def measure_routability(
 
     pooled: Optional[RoutingMetrics] = None
     degenerate = 0
+    # Sampling stays a sequential per-trial loop (the random stream must match
+    # the scalar path draw for draw); under the batch engine the routing itself
+    # is deferred and fused across trials, which consumes no randomness.
+    trial_masks: List[np.ndarray] = []
+    trial_sources: List[np.ndarray] = []
+    trial_destinations: List[np.ndarray] = []
     for _ in range(trials):
         alive = model.sample(overlay.n_nodes, generator)
         if int(alive.sum()) < 2:
             degenerate += 1
             continue
-        pair_list = sample_survivor_pairs(alive, pairs, generator)
+        sources, destinations = sample_survivor_pair_arrays(alive, pairs, generator)
         if engine == "batch":
-            pair_array = np.asarray(pair_list, dtype=np.int64)
-            outcome = route_pairs(
-                overlay, pair_array[:, 0], pair_array[:, 1], alive, batch_size=batch_size
-            )
-            metrics = outcome.to_metrics()
-        else:
-            results = [
-                overlay.route(source, destination, alive) for source, destination in pair_list
-            ]
-            metrics = summarize_routes(results)
+            trial_masks.append(alive)
+            trial_sources.append(sources)
+            trial_destinations.append(destinations)
+            continue
+        results = [
+            overlay.route(int(source), int(destination), alive)
+            for source, destination in zip(sources.tolist(), destinations.tolist())
+        ]
+        metrics = summarize_routes(results)
         pooled = metrics if pooled is None else pooled.merged_with(metrics)
+    if trial_masks:
+        outcome = route_pairs_stacked(
+            overlay,
+            np.concatenate(trial_sources),
+            np.concatenate(trial_destinations),
+            np.stack(trial_masks),
+            np.repeat(np.arange(len(trial_masks), dtype=np.int64), pairs),
+            batch_size=batch_size,
+        )
+        # Per-trial metrics merged in trial order: bit-identical to pooling
+        # one route_pairs call per trial.
+        for index in range(len(trial_masks)):
+            metrics = outcome.sliced(index * pairs, (index + 1) * pairs).to_metrics()
+            pooled = metrics if pooled is None else pooled.merged_with(metrics)
     if pooled is None:
         pooled = summarize_routes([])
     return StaticResilienceResult(

@@ -1,0 +1,265 @@
+"""Tests for the fused multi-cell sweep path.
+
+The fused path is a third implementation of the routing rules, bound by the
+same invariant chain as the batch kernels: ``route_pairs_stacked`` must agree
+pair-for-pair with per-cell :func:`route_pairs` (which is itself
+property-tested against the scalar ``Overlay.route`` oracle), and
+``SweepRunner``'s fused dispatch must produce bit-identical cell results to
+the per-cell dispatch for any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dht.failures import survival_mask
+from repro.exceptions import RoutingError
+from repro.sim.engine import SweepRunner, route_pairs, route_pairs_stacked
+from repro.sim.sampling import sample_survivor_pair_arrays
+
+from conftest import SMALL_D
+
+
+def assert_metrics_equal(left, right):
+    """Field-wise RoutingMetrics equality that treats nan == nan (empty-mean sentinel)."""
+    assert left.attempts == right.attempts
+    assert left.successes == right.successes
+    assert left.failure_reasons == right.failure_reasons
+    for field in ("mean_hops_successful", "mean_hops_failed"):
+        a, b = getattr(left, field), getattr(right, field)
+        assert a == b or (math.isnan(a) and math.isnan(b)), field
+
+
+def stacked_cells(overlay, qs, count, seed):
+    """Per-cell masks and pairs for a mixed-q stack (skipping degenerate masks)."""
+    rng = np.random.default_rng(seed)
+    masks, sources, destinations = [], [], []
+    for q in qs:
+        alive = survival_mask(overlay.n_nodes, q, rng)
+        if int(alive.sum()) < 2:
+            continue
+        src, dst = sample_survivor_pair_arrays(alive, count, rng)
+        masks.append(alive)
+        sources.append(src)
+        destinations.append(dst)
+    if not masks:
+        pytest.skip("every mask in the stack was degenerate")
+    return masks, sources, destinations
+
+
+class TestStackedRouting:
+    """route_pairs_stacked agrees pair-for-pair with per-cell route_pairs."""
+
+    QS = (0.0, 0.25, 0.5, 0.8)
+
+    def test_matches_per_cell_routing_pair_for_pair(self, small_overlays, geometry_name):
+        overlay = small_overlays[geometry_name]
+        masks, sources, destinations = stacked_cells(overlay, self.QS, 120, seed=31)
+        per_cell = [
+            route_pairs(overlay, src, dst, alive)
+            for alive, src, dst in zip(masks, sources, destinations)
+        ]
+        # Interleave the cells' pairs in a fixed shuffle so the fused batch
+        # exercises non-contiguous cell indices, then undo the shuffle.
+        flat_sources = np.concatenate(sources)
+        flat_destinations = np.concatenate(destinations)
+        cell_indices = np.repeat(np.arange(len(masks), dtype=np.int64), 120)
+        order = np.random.default_rng(7).permutation(flat_sources.size)
+        outcome = route_pairs_stacked(
+            overlay,
+            flat_sources[order],
+            flat_destinations[order],
+            np.stack(masks),
+            cell_indices[order],
+        )
+        inverse = np.argsort(order)
+        succeeded = outcome.succeeded[inverse]
+        hops = outcome.hops[inverse]
+        codes = outcome.failure_codes[inverse]
+        offset = 0
+        for cell_outcome in per_cell:
+            span = slice(offset, offset + cell_outcome.n_pairs)
+            assert np.array_equal(succeeded[span], cell_outcome.succeeded)
+            assert np.array_equal(hops[span], cell_outcome.hops)
+            assert np.array_equal(codes[span], cell_outcome.failure_codes)
+            offset += cell_outcome.n_pairs
+
+    def test_chunking_does_not_change_stacked_outcomes(self, small_overlays, geometry_name):
+        overlay = small_overlays[geometry_name]
+        masks, sources, destinations = stacked_cells(overlay, self.QS, 90, seed=13)
+        arguments = (
+            np.concatenate(sources),
+            np.concatenate(destinations),
+            np.stack(masks),
+            np.repeat(np.arange(len(masks), dtype=np.int64), 90),
+        )
+        whole = route_pairs_stacked(overlay, *arguments)
+        chunked = route_pairs_stacked(overlay, *arguments, batch_size=23)
+        assert np.array_equal(whole.succeeded, chunked.succeeded)
+        assert np.array_equal(whole.hops, chunked.hops)
+        assert np.array_equal(whole.failure_codes, chunked.failure_codes)
+
+    def test_unreferenced_degenerate_mask_rows_are_ignored(self, small_overlays, geometry_name):
+        # A stack may carry rows no pair routes under (degenerate cells with
+        # fewer than two survivors); they must not disturb the other cells.
+        overlay = small_overlays[geometry_name]
+        alive = np.ones(overlay.n_nodes, dtype=bool)
+        dead = np.zeros(overlay.n_nodes, dtype=bool)
+        dead[0] = True  # a single survivor: no routable pairs exist
+        src, dst = sample_survivor_pair_arrays(alive, 50, np.random.default_rng(3))
+        stacked = route_pairs_stacked(
+            overlay, src, dst, np.stack([dead, alive]), np.ones(50, dtype=np.int64)
+        )
+        plain = route_pairs(overlay, src, dst, alive)
+        assert np.array_equal(stacked.succeeded, plain.succeeded)
+        assert np.array_equal(stacked.hops, plain.hops)
+
+    def test_two_survivor_mask_routes(self, small_overlays):
+        overlay = small_overlays["ring"]
+        alive = np.zeros(overlay.n_nodes, dtype=bool)
+        alive[[2, 40]] = True
+        outcome = route_pairs_stacked(
+            overlay, [2], [40], alive[None, :], [0]
+        )
+        expected = route_pairs(overlay, [2], [40], alive)
+        assert np.array_equal(outcome.succeeded, expected.succeeded)
+
+    def test_endpoint_dead_in_its_own_cell_rejected(self, small_overlays, geometry_name):
+        # Node 5 is alive in mask 0 but dead in mask 1: a pair assigned to
+        # cell 1 must be rejected even though another mask would accept it.
+        overlay = small_overlays[geometry_name]
+        permissive = np.ones(overlay.n_nodes, dtype=bool)
+        restrictive = np.ones(overlay.n_nodes, dtype=bool)
+        restrictive[5] = False
+        stack = np.stack([permissive, restrictive])
+        route_pairs_stacked(overlay, [5], [9], stack, [0])  # cell 0 accepts it
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [5], [9], stack, [1])
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [9], [5], stack, [1])
+
+    def test_cell_index_out_of_stack_rejected(self, small_overlays):
+        overlay = small_overlays["xor"]
+        stack = np.ones((2, overlay.n_nodes), dtype=bool)
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [0], [1], stack, [2])
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [0], [1], stack, [-1])
+
+    def test_mismatched_cell_indices_rejected(self, small_overlays):
+        overlay = small_overlays["xor"]
+        stack = np.ones((1, overlay.n_nodes), dtype=bool)
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [0, 2], [1, 3], stack, [0])
+
+    def test_flat_mask_rejected(self, small_overlays):
+        overlay = small_overlays["xor"]
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(
+                overlay, [0], [1], np.ones(overlay.n_nodes, dtype=bool), [0]
+            )
+
+    def test_identical_endpoints_rejected(self, small_overlays):
+        overlay = small_overlays["xor"]
+        stack = np.ones((1, overlay.n_nodes), dtype=bool)
+        with pytest.raises(RoutingError):
+            route_pairs_stacked(overlay, [3], [3], stack, [0])
+
+    def test_union_width_cap_does_not_change_outcomes(
+        self, small_overlays, geometry_name, monkeypatch
+    ):
+        # Stacks wider than the union-table memory cap are routed as
+        # bounded-width sub-unions; forcing a tiny cap must not change any
+        # per-pair outcome.
+        import repro.sim.engine as engine_module
+
+        overlay = small_overlays[geometry_name]
+        masks, sources, destinations = stacked_cells(overlay, self.QS, 60, seed=47)
+        arguments = (
+            np.concatenate(sources),
+            np.concatenate(destinations),
+            np.stack(masks),
+            np.repeat(np.arange(len(masks), dtype=np.int64), 60),
+        )
+        whole = route_pairs_stacked(overlay, *arguments)
+        monkeypatch.setattr(engine_module, "_MAX_UNION_TABLE_ELEMENTS", 1)
+        split = route_pairs_stacked(overlay, *arguments)
+        assert np.array_equal(whole.succeeded, split.succeeded)
+        assert np.array_equal(whole.hops, split.hops)
+        assert np.array_equal(whole.failure_codes, split.failure_codes)
+
+
+class TestFusedSweepRunner:
+    """Fused dispatch is bit-identical to per-cell dispatch for any worker count."""
+
+    GEOMETRIES = ("tree", "hypercube", "xor", "ring", "smallworld")
+    # q = 1.0 kills every node, so the grid includes degenerate cells.
+    QS = (0.0, 0.45, 0.9, 1.0)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fused_matches_per_cell(self, workers):
+        reference = SweepRunner(
+            pairs=80, replicates=2, workers=1, base_seed=606, fused=False
+        ).run(list(self.GEOMETRIES), SMALL_D, list(self.QS))
+        with SweepRunner(
+            pairs=80, replicates=2, workers=workers, base_seed=606, fused=True
+        ) as runner:
+            fused = runner.run(list(self.GEOMETRIES), SMALL_D, list(self.QS))
+        assert fused.keys() == reference.keys()
+        for cell, expected in reference.items():
+            assert fused[cell].degenerate == expected.degenerate, cell
+            assert fused[cell].pairs == expected.pairs, cell
+            assert_metrics_equal(fused[cell].metrics, expected.metrics)
+
+    def test_per_cell_workers_match_fused_pool(self):
+        # Cross mode *and* worker count in one comparison.
+        per_cell = SweepRunner(
+            pairs=60, replicates=2, workers=4, base_seed=99, fused=False
+        )
+        fused = SweepRunner(pairs=60, replicates=2, workers=4, base_seed=99, fused=True)
+        with per_cell, fused:
+            a = per_cell.sweep("xor", SMALL_D, [0.1, 0.6])
+            b = fused.sweep("xor", SMALL_D, [0.1, 0.6])
+        assert a.routabilities == b.routabilities
+        for left, right in zip(a.results, b.results):
+            assert_metrics_equal(left.metrics, right.metrics)
+
+    def test_fused_memoization_only_adds_missing_cells(self):
+        with SweepRunner(pairs=40, replicates=1, workers=1, base_seed=11) as runner:
+            assert runner.fused
+            runner.sweep("ring", SMALL_D, [0.1])
+            assert runner.completed_cells == 1
+            runner.sweep("ring", SMALL_D, [0.1, 0.4])
+            assert runner.completed_cells == 2
+
+    def test_fused_degenerate_cells_are_counted(self):
+        with SweepRunner(pairs=20, replicates=2, workers=1, base_seed=3) as runner:
+            sweep = runner.sweep("tree", SMALL_D, [1.0])
+        assert sweep.results[0].degenerate_trials == 2
+        assert sweep.results[0].metrics.attempts == 0
+
+    def test_close_releases_the_pool_and_keeps_results(self):
+        # Two replicates give two overlay groups, which is what sends the
+        # fused dispatch to the worker pool in the first place.
+        runner = SweepRunner(pairs=30, replicates=2, workers=2, base_seed=5)
+        first = runner.sweep("hypercube", SMALL_D, [0.2, 0.5])
+        assert runner._pool is not None
+        runner.close()
+        assert runner._pool is None
+        # Memoized cells survive close(); a new dispatch recreates the pool.
+        second = runner.sweep("hypercube", SMALL_D, [0.2, 0.5])
+        assert first.routabilities == second.routabilities
+        runner.close()
+
+    def test_overlay_options_are_forwarded_fused(self):
+        dense = SweepRunner(
+            pairs=200, replicates=2, workers=1, base_seed=5,
+            overlay_options={"near_neighbors": 2, "shortcuts": 3},
+        )
+        sparse = SweepRunner(pairs=200, replicates=2, workers=1, base_seed=5)
+        dense_sweep = dense.sweep("smallworld", SMALL_D, [0.3])
+        sparse_sweep = sparse.sweep("smallworld", SMALL_D, [0.3])
+        assert dense_sweep.results[0].routability > sparse_sweep.results[0].routability

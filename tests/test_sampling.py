@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.sim.sampling import all_survivor_pairs, sample_survivor_pairs
+from repro.sim.sampling import (
+    all_survivor_pairs,
+    sample_survivor_pair_arrays,
+    sample_survivor_pairs,
+)
 
 
 class TestSampleSurvivorPairs:
@@ -41,6 +45,41 @@ class TestSampleSurvivorPairs:
         sources = np.array([s for s, _ in pairs])
         counts = np.bincount(sources, minlength=8)
         assert counts.min() > 0.7 * counts.mean()
+
+
+class TestSampleSurvivorPairArrays:
+    """The array variant is stream-identical to the list API by construction."""
+
+    @pytest.mark.parametrize("survivor_count", [2, 3, 17, 64])
+    def test_stream_identical_to_list_variant(self, survivor_count):
+        # Few survivors force the scalar redraw loop, many make it rare; the
+        # two variants must draw identically either way.
+        alive = np.zeros(64, dtype=bool)
+        alive[np.linspace(0, 63, survivor_count).astype(int)] = True
+        rng_arrays = np.random.default_rng(414)
+        rng_list = np.random.default_rng(414)
+        sources, destinations = sample_survivor_pair_arrays(alive, 400, rng_arrays)
+        pairs = sample_survivor_pairs(alive, 400, rng_list)
+        assert list(zip(sources.tolist(), destinations.tolist())) == pairs
+        # Both consumed the random stream draw for draw: the generators are
+        # in the same state, so any downstream sampling stays aligned.
+        assert rng_arrays.bit_generator.state == rng_list.bit_generator.state
+
+    def test_returns_int64_arrays(self, rng):
+        sources, destinations = sample_survivor_pair_arrays(np.ones(16, dtype=bool), 30, rng)
+        assert sources.dtype == np.int64 and destinations.dtype == np.int64
+        assert sources.shape == destinations.shape == (30,)
+
+    def test_pairs_are_distinct_and_alive(self, rng):
+        alive = np.zeros(32, dtype=bool)
+        alive[[0, 7, 21, 30]] = True
+        sources, destinations = sample_survivor_pair_arrays(alive, 200, rng)
+        assert (sources != destinations).all()
+        assert alive[sources].all() and alive[destinations].all()
+
+    def test_fewer_than_two_survivors_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sample_survivor_pair_arrays(np.zeros(8, dtype=bool), 5, rng)
 
 
 class TestAllSurvivorPairs:
