@@ -19,6 +19,7 @@ import os
 import platform
 import time
 
+from repro.sim.backends import default_backend_name
 from repro.sim.static_resilience import build_overlay, sweep_failure_probabilities
 from repro.workloads.generators import paper_failure_probabilities
 
@@ -81,6 +82,7 @@ def test_engine_speedup_on_fig6a_sweep(benchmark):
         "trials": TRIALS,
         "failure_probabilities": list(failure_probabilities),
         "python": platform.python_version(),
+        "backend_name": default_backend_name(),
         "per_geometry": per_geometry,
         "total_scalar_seconds": total_scalar,
         "total_batch_seconds": total_batch,

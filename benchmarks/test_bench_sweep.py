@@ -182,9 +182,12 @@ def _pr1_run_grid(geometries, d, failure_probabilities):
 # --------------------------------------------------------------------- #
 def _timed_runner_grid(fused, failure_probabilities):
     # Clear the shared overlay cache so every contender pays its own builds.
+    # Pinned to the numpy backend: this benchmark tracks the fused-dispatch
+    # win over the PR-1 engine; the JIT backend has its own benchmark
+    # (test_bench_backends.py).
     _OVERLAY_CACHE.clear()
     runner = SweepRunner(
-        pairs=PAIRS, replicates=TRIALS, workers=1, base_seed=SEED, fused=fused
+        pairs=PAIRS, replicates=TRIALS, workers=1, base_seed=SEED, fused=fused, backend="numpy"
     )
     started = time.perf_counter()
     results = runner.run(list(BENCH_GEOMETRIES), SWEEP_D, failure_probabilities)
@@ -244,6 +247,7 @@ def test_fused_sweep_speedup_on_fig6a_grid(benchmark):
         "cells": len(fused_results),
         "failure_probabilities": list(failure_probabilities),
         "python": platform.python_version(),
+        "backend_name": "numpy",
         "pr1_per_cell_seconds": pr1_seconds,
         "per_cell_seconds": per_cell_seconds,
         "fused_seconds": fused_seconds,

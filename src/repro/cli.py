@@ -13,11 +13,17 @@ Subcommands
 ``rcm simulate --geometry ring --d 10 --q 0.1 0.3 --pairs 1000``
     Run the Monte-Carlo overlay simulator and print measured routability.
     ``--engine batch|scalar`` selects the vectorized batch engine (default)
-    or the scalar oracle path; ``--workers N`` fans the sweep across worker
-    processes, ``--batch-size`` bounds the engine's per-batch memory, and
-    ``--fused`` / ``--per-cell`` toggle between fusing all cells that share
-    an overlay into one kernel invocation (default) and the one-task-per-cell
-    dispatch.  All combinations measure bit-identical metrics.
+    or the scalar oracle path; ``--backend auto|numpy|numba`` picks the
+    kernel backend (``auto`` selects the fastest available — the JIT
+    backend when the ``fast`` extra is installed); ``--workers N`` fans the
+    sweep across worker processes, ``--batch-size`` bounds the engine's
+    per-batch memory, and ``--fused`` / ``--per-cell`` toggle between
+    fusing all cells that share an overlay into one kernel invocation
+    (default) and the one-task-per-cell dispatch.  All combinations measure
+    bit-identical metrics.  ``--profile`` additionally prints the per-phase
+    wall-time breakdown (overlay build, mask generation, kernel hops,
+    reduction), and ``--json PATH`` writes rows + profile + backend
+    metadata to a JSON file.
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
-from .sim.engine import SweepRunner
+from .sim.backends import BACKEND_CHOICES
+from .sim.engine import PROFILE_PHASES, SweepRunner
 from .sim.static_resilience import simulate_geometry
 from .workloads.generators import PairWorkload
 
@@ -89,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--trials", type=int, default=3)
     simulate_parser.add_argument("--seed", type=int, default=PairWorkload().seed)
     _add_engine_arguments(simulate_parser)
+    simulate_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-phase wall-time breakdown (overlay build, mask generation, "
+            "kernel hops, reduction) after the results table (batch engine only)"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the measured rows (plus profile and backend metadata) to a JSON file",
+    )
     return parser
 
 
@@ -99,6 +119,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("batch", "scalar"),
         default="batch",
         help="route pairs through the vectorized batch engine (default) or the scalar oracle path",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help=(
+            "kernel backend for the batch engine: auto picks the fastest available "
+            "(numba when the 'fast' extra is installed, numpy otherwise); results are "
+            "bit-identical for every backend"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -145,6 +175,7 @@ def _command_run(arguments: argparse.Namespace) -> str:
         workload=PairWorkload(pairs=arguments.pairs, trials=arguments.trials, seed=arguments.seed),
         workers=arguments.workers,
         engine=arguments.engine,
+        backend=arguments.backend,
         fused=arguments.fused,
         batch_size=arguments.batch_size,
     )
@@ -174,10 +205,26 @@ def _command_compare(arguments: argparse.Namespace) -> str:
     )
 
 
+def _profile_rows(profile) -> list:
+    """Per-phase profile rows in canonical phase order (known phases first)."""
+    ordered = [phase for phase in PROFILE_PHASES if phase in profile]
+    ordered += sorted(set(profile) - set(PROFILE_PHASES))
+    total = sum(profile.values()) or 1.0
+    return [
+        {
+            "phase": phase,
+            "seconds": profile[phase],
+            "share_percent": 100.0 * profile[phase] / total,
+        }
+        for phase in ordered
+    ]
+
+
 def _command_simulate(arguments: argparse.Namespace) -> str:
     # The batch engine always sweeps through the SweepRunner (not the
     # sequential-stream driver) so the printed numbers are identical for
     # every --workers value and both --fused/--per-cell dispatch modes.
+    profile = None
     if arguments.engine == "batch":
         with SweepRunner(
             pairs=arguments.pairs,
@@ -186,8 +233,10 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             batch_size=arguments.batch_size,
             base_seed=arguments.seed,
             fused=arguments.fused,
+            backend=arguments.backend,
         ) as runner:
             sweep = runner.sweep(arguments.geometry, arguments.d, arguments.q)
+            profile = runner.profile
     else:
         sweep = simulate_geometry(
             arguments.geometry,
@@ -198,12 +247,41 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             seed=arguments.seed,
             engine=arguments.engine,
             batch_size=arguments.batch_size,
+            backend=arguments.backend,
         )
     rows = sweep.as_rows()
-    return render_table(
-        rows,
-        title=f"Measured routability: {arguments.geometry} overlay, N=2^{arguments.d}",
-    )
+    sections = [
+        render_table(
+            rows,
+            title=f"Measured routability: {arguments.geometry} overlay, N=2^{arguments.d}",
+        )
+    ]
+    if arguments.profile:
+        if profile:
+            sections.append("")
+            sections.append(
+                render_table(_profile_rows(profile), title="[profile] per-phase wall time")
+            )
+        else:
+            sections.append("")
+            sections.append("note: --profile requires the batch engine; no phases were timed")
+    if arguments.json:
+        import json
+
+        payload = {
+            "geometry": arguments.geometry,
+            "d": arguments.d,
+            "engine": arguments.engine,
+            "backend": sweep.backend_name,
+            "workers": arguments.workers,
+            "fused": arguments.fused,
+            "rows": rows,
+            "profile": profile,
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return "\n".join(sections)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

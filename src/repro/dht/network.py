@@ -89,14 +89,16 @@ class Overlay(abc.ABC):
         Row ``i`` lists the neighbours of node ``i`` in the same order
         :meth:`neighbors` returns them (for the tree and XOR geometries that
         order is the bit/bucket index).  The array is cached on the overlay
-        and must be treated as read-only — it is the view the vectorized
-        batch engine (:mod:`repro.sim.engine`) routes over.  Only defined
-        for overlays whose nodes all have the same out-degree, which holds
-        for all five paper geometries.
+        and marked read-only (writes raise ``ValueError``) — it is the view
+        every kernel backend (:mod:`repro.sim.backends`) routes over, so a
+        buggy kernel must fault loudly rather than silently corrupt the
+        shared tables.  Only defined for overlays whose nodes all have the
+        same out-degree, which holds for all five paper geometries.
         """
         cached = getattr(self, "_neighbor_array_cache", None)
         if cached is None:
-            cached = np.asarray(self._build_neighbor_array(), dtype=np.int64)
+            cached = np.array(self._build_neighbor_array(), dtype=np.int64, copy=True)
+            cached.setflags(write=False)
             self._neighbor_array_cache = cached
         return cached
 

@@ -42,6 +42,11 @@ class ExperimentConfig:
     engine:
         Routing engine for simulation-backed experiments: ``"batch"``
         (vectorized, the default) or ``"scalar"`` (the per-pair oracle path).
+    backend:
+        Kernel backend for the batch engine: ``"auto"`` (default — the
+        fastest available), ``"numpy"``, or ``"numba"`` (JIT, requires the
+        ``fast`` extra; falls back to numpy with a warning when absent).
+        Backends measure bit-identical metrics.
     fused:
         Sweep dispatch mode for the batch engine: ``True`` (default) fuses
         every cell sharing an overlay build into one stacked kernel
@@ -56,6 +61,7 @@ class ExperimentConfig:
     workload: PairWorkload = field(default_factory=PairWorkload)
     workers: int = 1
     engine: str = "batch"
+    backend: str = "auto"
     fused: bool = True
     batch_size: Optional[int] = None
 

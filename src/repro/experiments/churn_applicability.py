@@ -61,6 +61,7 @@ class ChurnApplicability(Experiment):
                 seed=workload.derived_seed(f"churn-run-{geometry_name}"),
                 engine=config.engine,
                 batch_size=config.batch_size,
+                backend=config.backend,
             )
             absolute_errors = []
             for step in result.steps:
@@ -93,6 +94,7 @@ class ChurnApplicability(Experiment):
                 "pairs_per_step": churn_config.pairs_per_step,
                 "fast": config.fast,
                 "engine": config.engine,
+                "backend": config.backend,
             },
             tables={
                 "churn_vs_static_prediction": rows,

@@ -55,6 +55,7 @@ class Fig6aStaticResilience(Experiment):
                     replicates=workload.trials,
                     workers=config.workers,
                     batch_size=config.batch_size,
+                    backend=config.backend,
                     base_seed=workload.derived_seed("fig6a-sim"),
                     fused=config.fused,
                 )
@@ -78,6 +79,7 @@ class Fig6aStaticResilience(Experiment):
                         seed=workload.derived_seed(f"fig6a-{geometry}"),
                         engine=config.engine,
                         batch_size=config.batch_size,
+                        backend=config.backend,
                     )
                 for row, analytical_value, simulated_value in zip(
                     rows, analytical.y_values, sweep.failed_path_percentages
@@ -96,6 +98,7 @@ class Fig6aStaticResilience(Experiment):
                 "trials": workload.trials,
                 "fast": config.fast,
                 "engine": config.engine,
+                "backend": config.backend,
                 "fused": config.fused,
                 "workers": config.workers,
             },

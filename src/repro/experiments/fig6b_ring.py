@@ -47,6 +47,7 @@ class Fig6bRingBound(Experiment):
                 replicates=workload.trials,
                 workers=config.workers,
                 batch_size=config.batch_size,
+                backend=config.backend,
                 base_seed=workload.derived_seed("fig6b-ring"),
                 fused=config.fused,
             ) as runner:
@@ -61,6 +62,7 @@ class Fig6bRingBound(Experiment):
                 seed=workload.derived_seed("fig6b-ring"),
                 engine=config.engine,
                 batch_size=config.batch_size,
+                backend=config.backend,
             )
         rows: List[Dict[str, object]] = []
         for q, analytical_value, simulated_value in zip(
@@ -90,6 +92,7 @@ class Fig6bRingBound(Experiment):
                 "trials": workload.trials,
                 "fast": config.fast,
                 "engine": config.engine,
+                "backend": config.backend,
                 "fused": config.fused,
                 "workers": config.workers,
             },

@@ -85,6 +85,7 @@ class Fig7aAsymptoticLimit(Experiment):
                     replicates=workload.trials,
                     workers=config.workers,
                     batch_size=config.batch_size,
+                    backend=config.backend,
                     base_seed=workload.derived_seed("fig7a-sim"),
                     fused=config.fused,
                 )
@@ -103,6 +104,7 @@ class Fig7aAsymptoticLimit(Experiment):
                         seed=workload.derived_seed(f"fig7a-{geometry}"),
                         engine=config.engine,
                         batch_size=config.batch_size,
+                        backend=config.backend,
                     )
                 for row, analytical_value, simulated_value in zip(
                     validation_rows, analytical_at_d.y_values, sweep.failed_path_percentages
@@ -122,6 +124,7 @@ class Fig7aAsymptoticLimit(Experiment):
                 "symphony_shortcuts": 1,
                 "fast": config.fast,
                 "engine": config.engine,
+                "backend": config.backend,
                 "fused": config.fused,
                 "workers": config.workers,
             },

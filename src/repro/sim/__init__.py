@@ -5,6 +5,12 @@ et al., SIGCOMM 2003): freeze routing tables, fail nodes uniformly at
 random, sample surviving pairs and measure the fraction of failed paths.
 """
 
+from .backends import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    available_backends,
+    resolve_backend,
+)
 from .churn import (
     ChurnConfig,
     ChurnSimulationResult,
@@ -32,6 +38,10 @@ from .static_resilience import (
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "available_backends",
+    "resolve_backend",
     "ChurnConfig",
     "ChurnSimulationResult",
     "ChurnStepResult",

@@ -1,0 +1,106 @@
+"""Pluggable kernel backends for the batch routing engine.
+
+The engine's innermost layer — the per-hop routing kernels — is pluggable:
+
+* ``numpy`` — the vectorized reference backend (always available).
+* ``numba`` — JIT-compiled per-pair hop loops (optional extra,
+  ``pip install .[fast]``); ~an order of magnitude faster on large sweeps.
+
+``resolve_backend("auto")`` picks the fastest available backend, which is
+what every entry point defaults to; ``--backend numpy|numba`` on the CLI (or
+the ``backend=`` keyword of the measurement APIs) pins one explicitly.
+Requesting ``numba`` where Numba is not installed falls back to ``numpy``
+with a warning rather than failing — backend choice can never change any
+measured number, only wall-clock time, because every backend is bound by the
+same invariant: bit-identical outcomes, pair-for-pair, to the scalar
+``Overlay.route`` oracle (property-tested in ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Tuple, Union
+
+from ...exceptions import InvalidParameterError
+from .base import KernelBackend, pack_alive_words, ring_modulus
+from .numba_backend import NUMBA_AVAILABLE, NumbaBackend, python_loop_backend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "NUMBA_AVAILABLE",
+    "BACKEND_CHOICES",
+    "available_backends",
+    "check_backend",
+    "default_backend_name",
+    "resolve_backend",
+    "python_loop_backend",
+    "pack_alive_words",
+    "ring_modulus",
+]
+
+#: Valid values of the ``backend`` argument / ``--backend`` CLI option.
+BACKEND_CHOICES = ("auto", "numpy", "numba")
+
+_NUMPY_BACKEND = NumpyBackend()
+# Constructed on first request (constructing it imports Numba and decorates
+# the hop loops, which costs ~1s — never pay that for numpy-only runs).
+_NUMBA_BACKEND = None
+
+
+def _numba_backend() -> NumbaBackend:
+    global _NUMBA_BACKEND
+    if _NUMBA_BACKEND is None:
+        _NUMBA_BACKEND = NumbaBackend()
+    return _NUMBA_BACKEND
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends importable in this environment, slowest first."""
+    names = ["numpy"]
+    if NUMBA_AVAILABLE:
+        names.append("numba")
+    return tuple(names)
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name shared by every measurement entry point."""
+    if backend not in BACKEND_CHOICES:
+        raise InvalidParameterError(
+            f"unknown kernel backend {backend!r}; expected one of {BACKEND_CHOICES}"
+        )
+    return backend
+
+
+def resolve_backend(backend: Union[str, KernelBackend, None] = "auto") -> KernelBackend:
+    """Resolve a backend name (or pass an instance through) to a :class:`KernelBackend`.
+
+    ``"auto"`` (and ``None``) select the fastest available backend — the JIT
+    backend when Numba is importable, the NumPy backend otherwise.
+    Requesting ``"numba"`` without Numba installed degrades gracefully to
+    the NumPy backend with a :class:`RuntimeWarning`; results are identical
+    either way, only slower.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is None:
+        backend = "auto"
+    check_backend(backend)
+    if backend == "numba" and not NUMBA_AVAILABLE:
+        warnings.warn(
+            "the numba backend was requested but Numba is not installed "
+            "(pip install 'repro-rcm[fast]'); falling back to the numpy backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _NUMPY_BACKEND
+    if backend in ("auto", "numba") and NUMBA_AVAILABLE:
+        return _numba_backend()
+    return _NUMPY_BACKEND
+
+
+def default_backend_name() -> str:
+    """The name ``"auto"`` resolves to in this environment."""
+    return resolve_backend("auto").name

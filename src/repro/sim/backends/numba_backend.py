@@ -1,0 +1,329 @@
+"""JIT-compiled kernel backend (Numba, optional ``pip install .[fast]``).
+
+Where the NumPy backend advances *all* active pairs one hop per interpreted
+kernel call (paying Python-level dispatch and full intermediate arrays every
+hop), this backend compiles one per-geometry hop *loop*: each pair is routed
+from source to termination inside a single ``@njit`` function over int32
+routing state, with aliveness looked up in bit-packed uint64 words.  No
+per-hop Python dispatch, no ``(batch, degree)`` temporaries.
+
+Numba is an optional extra.  The loop bodies below are deliberately plain
+Python functions — when Numba is importable they are compiled at import time
+(``_JIT_LOOPS``); when it is not, the *same* function objects remain callable
+as pure Python (``_PYTHON_LOOPS``).  That property is what keeps the backend
+testable everywhere: the parity suite in ``tests/test_backends.py`` runs the
+uncompiled loops against the scalar oracle and the NumPy backend even in
+environments without Numba, so the exact code Numba compiles is
+property-tested on every CI leg.  (The uncompiled loops are orders of
+magnitude slower than the NumPy backend and are never selected by the
+registry — they exist for verification only.)
+
+Each loop reproduces the scalar routing rules exactly — same next-hop
+choice, same tie-breaking (documented per loop), same hop bookkeeping as
+``NumpyBackend.run``: ``hops`` counts forwarding steps actually taken, the
+failed hop of a dropped message is not counted, and the hop budget is
+checked before every forwarding step.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Tuple
+
+import numpy as np
+
+from ...exceptions import UnknownGeometryError
+from .base import (
+    DEAD_END_CODE,
+    HOP_LIMIT_CODE,
+    REQUIRED_FAILED_CODE,
+    SUCCESS_CODE,
+    KernelBackend,
+    pack_alive_words,
+    ring_modulus,
+)
+
+__all__ = ["NumbaBackend", "NUMBA_AVAILABLE", "python_loop_backend"]
+
+#: Whether the optional Numba extra is installed.  Detected via find_spec so
+#: importing this module (and hence ``repro.sim``) never pays Numba's ~1s
+#: import cost; the actual import — and the loop compilation it enables —
+#: happens lazily, the first time a JIT backend is constructed.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+
+#: Sentinel distance strictly above every same-cell XOR/ring distance
+#: (< 2^d); large enough for any identifier space that fits in memory.
+_FAR = 1 << 62
+
+
+def _alive_bit(words, index):
+    """True iff identifier ``index`` is alive in the packed uint64 words."""
+    return (words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1) != np.uint64(0)
+
+
+def _tree_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
+    """Plaxton tree: the single neighbour correcting the leftmost differing bit."""
+    for p in range(sources.shape[0]):
+        cur = sources[p]
+        dst = destinations[p]
+        hop = 0
+        while True:
+            if hop >= hop_limit:
+                codes[p] = HOP_LIMIT_CODE
+                hops[p] = hop
+                break
+            diff = cur ^ dst
+            bit_length = 0
+            while diff != 0:  # cur != dst while routing, so bit_length >= 1
+                bit_length += 1
+                diff >>= 1
+            nxt = table[cur, d - bit_length]
+            if not _alive_bit(words, nxt):
+                codes[p] = REQUIRED_FAILED_CODE
+                hops[p] = hop  # the failed hop is not counted
+                break
+            cur = nxt
+            if cur == dst:
+                succeeded[p] = True
+                hops[p] = hop + 1
+                break
+            hop += 1
+
+
+def _hypercube_loop(
+    table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes
+):
+    """Greedy hypercube: smallest alive neighbour correcting a differing bit.
+
+    Same bit rule as the NumPy kernel: among the differing bits whose
+    neighbour ``cur ^ 2^j`` is alive, clear the highest set bit of ``cur``
+    (the largest decrease) or, when none is set, set the lowest clear bit
+    (the smallest increase) — exactly the scalar min-identifier choice.
+    """
+    for p in range(sources.shape[0]):
+        cur = sources[p]
+        dst = destinations[p]
+        hop = 0
+        while True:
+            if hop >= hop_limit:
+                codes[p] = HOP_LIMIT_CODE
+                hops[p] = hop
+                break
+            diff = cur ^ dst
+            usable = 0
+            for j in range(d):
+                if (diff >> j) & 1 != 0 and _alive_bit(words, cur ^ (1 << j)):
+                    usable |= 1 << j
+            if usable == 0:
+                codes[p] = DEAD_END_CODE
+                hops[p] = hop
+                break
+            decreasing = usable & cur
+            if decreasing != 0:
+                bit = decreasing
+                while bit & (bit - 1) != 0:  # isolate the highest set bit
+                    bit &= bit - 1
+            else:
+                bit = usable & (-usable)  # all usable bits clear in cur: lowest one
+            cur = cur ^ bit
+            if cur == dst:
+                succeeded[p] = True
+                hops[p] = hop + 1
+                break
+            hop += 1
+
+
+def _xor_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
+    """Greedy XOR: the alive neighbour strictly closest to the destination.
+
+    XOR distances to a fixed destination are distinct across distinct
+    neighbours, so the strict ``<`` scan (first minimum) is the unique
+    scalar choice; a duplicated table entry ties only with itself.
+    """
+    degree = table.shape[1]
+    for p in range(sources.shape[0]):
+        cur = sources[p]
+        dst = destinations[p]
+        hop = 0
+        while True:
+            if hop >= hop_limit:
+                codes[p] = HOP_LIMIT_CODE
+                hops[p] = hop
+                break
+            best_distance = _FAR
+            best_neighbor = cur
+            for c in range(degree):
+                neighbor = table[cur, c]
+                if _alive_bit(words, neighbor):
+                    distance = neighbor ^ dst
+                    if distance < best_distance:
+                        best_distance = distance
+                        best_neighbor = neighbor
+            if best_distance >= cur ^ dst:  # no alive neighbour strictly improves
+                codes[p] = DEAD_END_CODE
+                hops[p] = hop
+                break
+            cur = best_neighbor
+            if cur == dst:
+                succeeded[p] = True
+                hops[p] = hop + 1
+                break
+            hop += 1
+
+
+def _ring_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
+    """Greedy clockwise routing without overshooting (Chord and Symphony).
+
+    Ties in the remaining distance imply the same neighbour identifier, so
+    the strict ``<`` scan (first minimum) reproduces the scalar
+    first-strict-improvement scan.  Same-cell differences stay inside
+    ``(-modulus, modulus)`` on a disjoint-union view, so one conditional add
+    recovers the physical clockwise distance.
+    """
+    degree = table.shape[1]
+    for p in range(sources.shape[0]):
+        cur = sources[p]
+        dst = destinations[p]
+        hop = 0
+        while True:
+            if hop >= hop_limit:
+                codes[p] = HOP_LIMIT_CODE
+                hops[p] = hop
+                break
+            remaining = dst - cur
+            if remaining < 0:
+                remaining += modulus
+            best_after = _FAR
+            best_neighbor = cur
+            for c in range(degree):
+                neighbor = table[cur, c]
+                if _alive_bit(words, neighbor):
+                    progress = neighbor - cur
+                    if progress < 0:
+                        progress += modulus
+                    # progress >= 1 for real neighbours (overlays never list
+                    # a node as its own neighbour).
+                    if progress <= remaining:
+                        after = remaining - progress
+                        if after < best_after:
+                            best_after = after
+                            best_neighbor = neighbor
+            if best_after >= _FAR:
+                codes[p] = DEAD_END_CODE
+                hops[p] = hop
+                break
+            cur = best_neighbor
+            if cur == dst:
+                succeeded[p] = True
+                hops[p] = hop + 1
+                break
+            hop += 1
+
+
+#: The uncompiled loop bodies, kept callable for verification everywhere.
+_PYTHON_LOOPS = {
+    "tree": _tree_loop,
+    "hypercube": _hypercube_loop,
+    "xor": _xor_loop,
+    "ring": _ring_loop,
+    "smallworld": _ring_loop,
+}
+
+_JIT_LOOPS = None
+
+
+def _jit_loops():  # pragma: no cover - exercised only on the Numba CI leg
+    """Import Numba and decorate the loop bodies, once, on first use."""
+    global _JIT_LOOPS, _alive_bit
+    if _JIT_LOOPS is None:
+        import numba
+
+        # Compile the alive-bit helper first so the loop bodies resolve the
+        # module global to the compiled dispatcher at their own compile time.
+        _alive_bit = numba.njit(inline="always")(_alive_bit)
+        _JIT_LOOPS = {
+            "tree": numba.njit(cache=True, nogil=True)(_tree_loop),
+            "hypercube": numba.njit(cache=True, nogil=True)(_hypercube_loop),
+            "xor": numba.njit(cache=True, nogil=True)(_xor_loop),
+            "ring": numba.njit(cache=True, nogil=True)(_ring_loop),
+        }
+        _JIT_LOOPS["smallworld"] = _JIT_LOOPS["ring"]
+    return _JIT_LOOPS
+
+
+class NumbaBackend(KernelBackend):
+    """Per-pair JIT hop loops over int32 state and uint64 aliveness words.
+
+    ``prepare`` packs the survival vector into uint64 words and narrows the
+    routing table to int32 (every realistic identifier space fits; the fused
+    union tables already are int32), so the compiled loops touch half the
+    memory the int64 tables would cost.  ``run`` hands whole chunks to one
+    compiled function — the only Python-level work per chunk is the call
+    itself.
+    """
+
+    name = "numba"
+
+    def __init__(self, jit: bool = True) -> None:
+        if jit and not NUMBA_AVAILABLE:
+            raise ImportError(
+                "the numba backend requires the optional 'fast' extra "
+                "(pip install 'repro-rcm[fast]')"
+            )
+        self._loops = _jit_loops() if jit else _PYTHON_LOOPS
+        self._jit = bool(jit)
+        if not jit:
+            # Honest metadata: results are identical, but speed is not.
+            self.name = "numba-python"
+
+    @property
+    def jit_enabled(self) -> bool:
+        """True when the loops run compiled (False only for the test-only variant)."""
+        return self._jit
+
+    def prepare(self, overlay, alive: np.ndarray):
+        geometry = overlay.geometry_name
+        try:
+            loop = self._loops[geometry]
+        except KeyError as exc:
+            raise UnknownGeometryError(
+                f"no batch kernel for geometry {geometry!r}; "
+                f"expected one of {sorted(self._loops)}"
+            ) from exc
+        table = overlay.neighbor_array()
+        dtype = np.int32 if overlay.n_nodes <= np.iinfo(np.int32).max else np.int64
+        table = np.ascontiguousarray(table, dtype=dtype)
+        words = pack_alive_words(alive)
+        return loop, table, words
+
+    def run(
+        self, overlay, state, sources: np.ndarray, destinations: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        loop, table, words = state
+        n_pairs = sources.size
+        succeeded = np.zeros(n_pairs, dtype=bool)
+        hops = np.zeros(n_pairs, dtype=np.int64)
+        codes = np.full(n_pairs, SUCCESS_CODE, dtype=np.int8)
+        loop(
+            table,
+            overlay.d,
+            ring_modulus(overlay),
+            words,
+            np.ascontiguousarray(sources, dtype=table.dtype),
+            np.ascontiguousarray(destinations, dtype=table.dtype),
+            overlay.hop_limit(),
+            succeeded,
+            hops,
+            codes,
+        )
+        return succeeded, hops, codes
+
+
+def python_loop_backend() -> NumbaBackend:
+    """The uncompiled-loop variant, for parity testing in any environment.
+
+    Runs the exact function bodies Numba would compile, as plain Python —
+    far too slow for real sweeps, never returned by the registry.
+    """
+    return NumbaBackend(jit=False)

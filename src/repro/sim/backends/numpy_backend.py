@@ -1,0 +1,275 @@
+"""NumPy kernel backend: vectorized per-hop batch kernels.
+
+This is the engine's reference backend — the prepare/step kernel factories
+and the blocked hop loop that previously lived inside
+:mod:`repro.sim.engine`, unchanged in semantics.  A kernel is a *factory*:
+called once per ``(overlay, survival mask)`` batch, it precomputes
+mask-dependent tables and returns the per-hop ``step`` function.  The
+precomputation runs once per routed batch — one table pass amortised over
+every hop of every pair — which is where most of the per-hop gather work of
+the original kernels went.
+
+Every step routes under one flat survival vector, indexed by the same
+identifiers the routing tables hold.  The fused multi-cell path reuses the
+kernels unchanged by routing over a *disjoint union* of the overlay's cells
+(see ``repro.sim.engine._UnionOverlayView``): virtual identifier
+``cell * n_nodes + node``, a flattened mask stack, and offset-shifted
+tables.  Because ``n_nodes = 2^d``, the cell offset occupies bits above the
+identifier space and cancels in every same-cell XOR, so the bitwise
+geometries need no changes; the ring geometries read their clockwise modulus
+from :func:`~repro.sim.backends.base.ring_modulus` instead of the (virtual)
+node count.
+
+All tables a factory derives (sentinel-masked copies, aliveness bitsets)
+are marked read-only, like the overlay tables they are built from, so a
+buggy step function cannot silently corrupt state shared across hops.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...exceptions import RoutingError, UnknownGeometryError
+from .base import (
+    DEAD_END_CODE,
+    HOP_LIMIT_CODE,
+    REQUIRED_FAILED_CODE,
+    SUCCESS_CODE,
+    KernelBackend,
+    ring_modulus,
+)
+
+__all__ = ["NumpyBackend"]
+
+
+def _distance_sentinel(alive: np.ndarray, dtype) -> int:
+    """An identifier whose XOR distance to any real identifier beats nothing.
+
+    The sentinel's set bit lies strictly above every routable identifier
+    (``alive.size - 1``), so ``sentinel ^ dst >= alive.size`` exceeds every
+    real same-cell distance (``< 2^d <= alive.size``) for any destination.
+    """
+    sentinel = 1 << int(alive.size - 1).bit_length()
+    if sentinel > np.iinfo(dtype).max // 2:  # pragma: no cover - absurdly large space
+        raise RoutingError(f"identifier space too large for a {np.dtype(dtype)} sentinel")
+    return sentinel
+
+
+def _tree_kernel(overlay, alive: np.ndarray):
+    """Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
+    tables = overlay.neighbor_array()
+    d = overlay.d
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        diff = cur ^ dst
+        # Column of the highest-order differing bit: position - 1 =
+        # d - bit_length(diff).  np.frexp returns the exponent e with
+        # diff = m * 2^e, m in [0.5, 1), i.e. exactly bit_length(diff);
+        # exact for diff < 2^53, far beyond any overlay that fits in memory.
+        bit_length = np.frexp(diff.astype(np.float64))[1]
+        nxt = tables[cur, d - bit_length]
+        return nxt, alive[nxt], REQUIRED_FAILED_CODE
+
+    return step
+
+
+def _hypercube_kernel(overlay, alive: np.ndarray):
+    """Greedy hypercube routing: smallest alive neighbour correcting a differing bit.
+
+    The hypercube wiring is deterministic — node ``x`` links to ``x ^ 2^j``
+    for every bit ``j`` (see ``HypercubeOverlay``) — so the factory packs
+    each node's alive neighbours into a *bitset* (bit ``j`` set iff
+    ``alive[x ^ 2^j]``) and the per-hop step is pure flat bit arithmetic:
+    no ``(batch, d)`` temporaries, no per-hop table gather.  The scalar
+    min-identifier rule becomes: clear the highest usable 1-bit of ``cur``
+    (the largest decrease) or, when no usable bit of ``cur`` is set, set the
+    lowest usable 0-bit (the smallest increase).
+    """
+    d = overlay.d
+    n = alive.size
+    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
+    identifiers = np.arange(n, dtype=dtype)
+    alive_bits = np.zeros(n, dtype=dtype)
+    for j in range(d):
+        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
+    alive_bits.setflags(write=False)
+    one = dtype(1)
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        usable = alive_bits[cur] & (cur ^ dst)
+        decreasing = usable & cur
+        # Highest set bit of `decreasing` via frexp (see _tree_kernel); the
+        # shift is clamped so the unselected branch never shifts by -1.
+        high = np.frexp(decreasing.astype(np.float64))[1]
+        clear_highest = np.left_shift(one, np.maximum(high, 1).astype(dtype) - one)
+        increasing = usable & ~cur
+        set_lowest = increasing & -increasing
+        bit = np.where(decreasing != 0, clear_highest, set_lowest)
+        # usable == 0 leaves bit == 0, i.e. next == cur, discarded via ok.
+        return cur ^ bit, usable != 0, DEAD_END_CODE
+
+    return step
+
+
+def _xor_kernel(overlay, alive: np.ndarray):
+    """Greedy XOR routing: the alive neighbour strictly closest to the destination.
+
+    The factory rewrites every dead table entry to a sentinel beyond the
+    identifier space once, so the per-hop step needs neither an aliveness
+    gather nor a masking pass: a dead neighbour's XOR distance
+    (``>= alive.size``) can never win the argmin against an alive one
+    (``< 2^d``), and when no alive neighbour improves on the current
+    distance the winner fails the single improvement check on the winning
+    entry — exactly the scalar dead-end verdict.
+    """
+    tables = overlay.neighbor_array()
+    sentinel = _distance_sentinel(alive, tables.dtype)
+    masked_tables = np.where(alive[tables], tables, tables.dtype.type(sentinel))
+    masked_tables.setflags(write=False)
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        neighbors = masked_tables[cur]  # (batch, d)
+        distances = neighbors ^ dst[:, None]
+        # XOR distances to a fixed destination are distinct across distinct
+        # neighbours, so the argmin is the unique scalar choice.
+        best = distances.argmin(axis=1)
+        rows = np.arange(cur.size)
+        ok = distances[rows, best] < (cur ^ dst)
+        return neighbors[rows, best], ok, DEAD_END_CODE
+
+    return step
+
+
+def _ring_kernel(overlay, alive: np.ndarray):
+    """Greedy clockwise routing without overshooting (Chord and Symphony).
+
+    Dead table entries are rewritten to the node itself once, which makes
+    their clockwise progress exactly zero — the one value the scalar rule
+    already excludes — so the per-hop step skips the aliveness gather.
+    """
+    tables = overlay.neighbor_array()
+    n = ring_modulus(overlay)
+    far = np.iinfo(tables.dtype).max
+    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
+    masked_tables = np.where(alive[tables], tables, self_column)
+    masked_tables.setflags(write=False)
+
+    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        neighbors = masked_tables[cur]  # (batch, k)
+        # Same-cell differences stay inside (-n, n), so the physical modulus
+        # recovers the clockwise distances even on a disjoint-union view.
+        # Real neighbours have progress >= 1 (overlays never list a node as
+        # its own neighbour); dead ones were rewritten to progress == 0.
+        progress = (neighbors - cur[:, None]) % n
+        remaining = ((dst - cur) % n)[:, None]
+        usable = (progress != 0) & (progress <= remaining)
+        after = np.where(usable, remaining - progress, far)
+        # Ties in the remaining distance imply the same neighbour identifier,
+        # so argmin (first minimum) reproduces the scalar
+        # first-strict-improvement scan.
+        best = after.argmin(axis=1)
+        rows = np.arange(cur.size)
+        return neighbors[rows, best], usable[rows, best], DEAD_END_CODE
+
+    return step
+
+
+STEP_KERNELS = {
+    "tree": _tree_kernel,
+    "hypercube": _hypercube_kernel,
+    "xor": _xor_kernel,
+    "ring": _ring_kernel,
+    "smallworld": _ring_kernel,
+}
+
+
+def geometry_step_factory(overlay):
+    """The step-kernel factory for ``overlay``'s geometry, or a clear error."""
+    try:
+        return STEP_KERNELS[overlay.geometry_name]
+    except KeyError as exc:
+        raise UnknownGeometryError(
+            f"no batch kernel for geometry {overlay.geometry_name!r}; "
+            f"expected one of {sorted(STEP_KERNELS)}"
+        ) from exc
+
+
+#: Active pairs handed to a step kernel per call.  Kernels allocate a handful
+#: of ``(batch, degree)`` temporaries per hop; blocking the batch keeps those
+#: resident in cache even when a fused multi-cell batch is hundreds of
+#: thousands of pairs wide.  Kernels are row-independent, so blocking cannot
+#: change any outcome.
+KERNEL_BLOCK = 2048
+
+
+def _step_blocked(step, cur: np.ndarray, dst: np.ndarray):
+    """Run one hop's step over cache-sized blocks of the active set."""
+    size = cur.size
+    if size <= KERNEL_BLOCK:
+        return step(cur, dst)
+    next_hop = np.empty(size, dtype=cur.dtype)
+    ok = np.empty(size, dtype=bool)
+    fail_code = SUCCESS_CODE
+    for start in range(0, size, KERNEL_BLOCK):
+        stop = start + KERNEL_BLOCK
+        block_next, block_ok, fail_code = step(cur[start:stop], dst[start:stop])
+        next_hop[start:stop] = block_next
+        ok[start:stop] = block_ok
+    return next_hop, ok, fail_code
+
+
+class NumpyBackend(KernelBackend):
+    """The vectorized NumPy hop loop: advance all active pairs one hop per iteration.
+
+    A pair is active from iteration 0 until it terminates and hops exactly
+    once per iteration it is active, so every active pair has taken
+    ``iteration`` hops — the scalar path's per-step hop-budget check reduces
+    to one counter comparison, and per-pair hop counts are written only at
+    the three termination events (arrival, drop, budget exhaustion).
+    """
+
+    name = "numpy"
+
+    def prepare(self, overlay, alive: np.ndarray):
+        return geometry_step_factory(overlay)(overlay, alive)
+
+    def run(
+        self, overlay, state, sources: np.ndarray, destinations: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        step = state
+        n_pairs = sources.size
+        hop_limit = overlay.hop_limit()
+        current = sources.copy()
+        hops = np.zeros(n_pairs, dtype=np.int64)
+        succeeded = np.zeros(n_pairs, dtype=bool)
+        codes = np.full(n_pairs, SUCCESS_CODE, dtype=np.int8)
+        active = np.arange(n_pairs, dtype=np.int64)  # end-points differ by precondition
+        iteration = 0
+
+        while active.size:
+            if iteration >= hop_limit:
+                # The scalar path checks the budget before every forwarding
+                # step; the failed hop is not counted, so hops stays at the
+                # limit.
+                codes[active] = HOP_LIMIT_CODE
+                hops[active] = iteration
+                break
+            next_hop, ok, fail_code = _step_blocked(step, current[active], destinations[active])
+            if not ok.all():
+                dropped = active[~ok]
+                codes[dropped] = fail_code
+                hops[dropped] = iteration  # the failed hop is not counted
+                next_hop = next_hop[ok]
+                active = active[ok]
+            current[active] = next_hop
+            arrived = next_hop == destinations[active]
+            if arrived.any():
+                delivered = active[arrived]
+                succeeded[delivered] = True
+                hops[delivered] = iteration + 1
+                active = active[~arrived]
+            iteration += 1
+
+        return succeeded, hops, codes

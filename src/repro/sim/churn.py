@@ -39,7 +39,7 @@ from ..dht.metrics import RoutingMetrics, summarize_routes
 from ..dht.network import Overlay, make_rng
 from ..exceptions import InvalidParameterError
 from ..validation import check_positive_int, check_probability
-from .engine import check_engine, route_pairs_stacked
+from .engine import BackendLike, check_engine, route_pairs_stacked
 from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
@@ -165,6 +165,7 @@ def simulate_churn(
     seed: Optional[int] = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> ChurnSimulationResult:
     """Simulate one repair epoch of churn on ``overlay`` and measure routability per step.
 
@@ -179,7 +180,9 @@ def simulate_churn(
     default) stacks every step's usable mask and routes the whole epoch in
     one fused engine invocation after the churn chain has been simulated,
     ``"scalar"`` routes one pair at a time as each step is reached; routing
-    consumes no randomness, so both produce identical metrics.
+    consumes no randomness, so both produce identical metrics.  ``backend``
+    selects the kernel backend of the batch engine (``"auto"`` — the
+    default — picks the fastest available; all backends are bit-identical).
     """
     engine = check_engine(engine)
     generator = make_rng(rng, seed)
@@ -234,6 +237,7 @@ def simulate_churn(
             np.stack(epoch_masks),
             np.repeat(np.arange(len(epoch_masks), dtype=np.int64), pairs_per_step),
             batch_size=batch_size,
+            backend=backend,
         )
     steps: List[ChurnStepResult] = []
     for step, effective_q, online_fraction, usable_fraction, fused_index, metrics in records:

@@ -17,6 +17,14 @@ triple that :meth:`Overlay.route` would.  The scalar path is kept as the
 oracle; ``tests/test_engine.py`` property-tests the agreement pair-for-pair
 on all five overlays.
 
+The kernels themselves live behind the pluggable backend registry
+(:mod:`repro.sim.backends`): the vectorized NumPy kernels are the reference
+backend, and a JIT-compiled backend (Numba, optional ``.[fast]`` extra)
+routes each pair in one compiled per-pair loop.  Every entry point takes a
+``backend`` argument (``"auto"`` — the default — selects the fastest
+available); backend choice can never change a measured number, because all
+backends are property-tested bit-identical to the scalar oracle.
+
 Layered on top:
 
 * :func:`route_pairs` — route a batch of pairs on one overlay under one
@@ -38,11 +46,12 @@ Layered on top:
 from __future__ import annotations
 
 import multiprocessing
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +61,13 @@ from ..dht.metrics import RoutingMetrics
 from ..dht.routing import FAILURE_CODES, FailureReason, failure_reason_from_code
 from ..exceptions import InvalidParameterError, RoutingError, UnknownGeometryError
 from ..validation import check_failure_probability, check_non_negative_int, check_positive_int
+from .backends import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    available_backends,
+    check_backend,
+    resolve_backend,
+)
 from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
@@ -60,10 +76,21 @@ __all__ = [
     "route_pairs_stacked",
     "ROUTING_ENGINES",
     "check_engine",
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "available_backends",
+    "check_backend",
+    "resolve_backend",
     "SweepCell",
     "SweepCellResult",
     "SweepRunner",
+    "PROFILE_PHASES",
 ]
+
+#: The kernel backend accepted by the routing entry points: a registry name
+#: ("auto", "numpy", "numba"), a :class:`KernelBackend` instance, or ``None``
+#: (same as "auto").
+BackendLike = Union[str, KernelBackend, None]
 
 #: Valid values of the ``engine`` argument of the measurement APIs.
 ROUTING_ENGINES = ("batch", "scalar")
@@ -78,9 +105,6 @@ def check_engine(engine: str) -> str:
     return engine
 
 _SUCCESS_CODE = FAILURE_CODES[FailureReason.NONE]
-_DEAD_END_CODE = FAILURE_CODES[FailureReason.DEAD_END]
-_REQUIRED_FAILED_CODE = FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED]
-_HOP_LIMIT_CODE = FAILURE_CODES[FailureReason.HOP_LIMIT_EXCEEDED]
 
 
 
@@ -138,16 +162,6 @@ class BatchRouteOutcome:
             failure_reasons=self.failure_reason_counts(),
         )
 
-    def merged_with(self, other: "BatchRouteOutcome") -> "BatchRouteOutcome":
-        """Concatenate two outcome batches (used by the chunked driver)."""
-        return BatchRouteOutcome(
-            sources=np.concatenate([self.sources, other.sources]),
-            destinations=np.concatenate([self.destinations, other.destinations]),
-            succeeded=np.concatenate([self.succeeded, other.succeeded]),
-            hops=np.concatenate([self.hops, other.hops]),
-            failure_codes=np.concatenate([self.failure_codes, other.failure_codes]),
-        )
-
     def sliced(self, start: int, stop: int) -> "BatchRouteOutcome":
         """The outcome restricted to pairs ``[start, stop)`` (array views, no copies).
 
@@ -174,165 +188,18 @@ def _empty_outcome() -> BatchRouteOutcome:
     )
 
 
-# --------------------------------------------------------------------- #
-# per-geometry batch kernels
-# --------------------------------------------------------------------- #
-# A kernel is a *factory*: called once per (overlay, survival mask) batch,
-# it precomputes mask-dependent tables and returns the per-hop ``step``
-# function.  The precomputation runs once per routed batch — one table pass
-# amortised over every hop of every pair — which is where most of the
-# per-hop gather work of the original kernels went.
-#
-# Every step routes under one flat survival vector, indexed by the same
-# identifiers the routing tables hold.  The fused multi-cell path reuses the
-# kernels unchanged by routing over a *disjoint union* of the overlay's
-# cells (see :class:`_UnionOverlayView`): virtual identifier
-# ``cell * n_nodes + node``, a flattened mask stack, and offset-shifted
-# tables.  Because ``n_nodes = 2^d``, the cell offset occupies bits above
-# the identifier space and cancels in every same-cell XOR, so the bitwise
-# geometries need no changes; the ring geometries read their clockwise
-# modulus from ``_ring_modulus`` instead of the (virtual) node count.
-def _ring_modulus(overlay) -> int:
-    """Modulus of clockwise identifier arithmetic (physical space size)."""
-    return getattr(overlay, "ring_modulus", overlay.n_nodes)
-
-
-def _distance_sentinel(alive: np.ndarray, dtype) -> int:
-    """An identifier whose XOR distance to any real identifier beats nothing.
-
-    The sentinel's set bit lies strictly above every routable identifier
-    (``alive.size - 1``), so ``sentinel ^ dst >= alive.size`` exceeds every
-    real same-cell distance (``< 2^d <= alive.size``) for any destination.
-    """
-    sentinel = 1 << int(alive.size - 1).bit_length()
-    if sentinel > np.iinfo(dtype).max // 2:  # pragma: no cover - absurdly large space
-        raise RoutingError(f"identifier space too large for a {np.dtype(dtype)} sentinel")
-    return sentinel
-
-
-def _tree_kernel(overlay, alive: np.ndarray):
-    """Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
-    tables = overlay.neighbor_array()
-    d = overlay.d
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        diff = cur ^ dst
-        # Column of the highest-order differing bit: position - 1 =
-        # d - bit_length(diff).  np.frexp returns the exponent e with
-        # diff = m * 2^e, m in [0.5, 1), i.e. exactly bit_length(diff);
-        # exact for diff < 2^53, far beyond any overlay that fits in memory.
-        bit_length = np.frexp(diff.astype(np.float64))[1]
-        nxt = tables[cur, d - bit_length]
-        return nxt, alive[nxt], _REQUIRED_FAILED_CODE
-
-    return step
-
-
-def _hypercube_kernel(overlay, alive: np.ndarray):
-    """Greedy hypercube routing: smallest alive neighbour correcting a differing bit.
-
-    The hypercube wiring is deterministic — node ``x`` links to ``x ^ 2^j``
-    for every bit ``j`` (see ``HypercubeOverlay``) — so the factory packs
-    each node's alive neighbours into a *bitset* (bit ``j`` set iff
-    ``alive[x ^ 2^j]``) and the per-hop step is pure flat bit arithmetic:
-    no ``(batch, d)`` temporaries, no per-hop table gather.  The scalar
-    min-identifier rule becomes: clear the highest usable 1-bit of ``cur``
-    (the largest decrease) or, when no usable bit of ``cur`` is set, set the
-    lowest usable 0-bit (the smallest increase).
-    """
-    d = overlay.d
-    n = alive.size
-    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
-    identifiers = np.arange(n, dtype=dtype)
-    alive_bits = np.zeros(n, dtype=dtype)
-    for j in range(d):
-        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
-    one = dtype(1)
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        usable = alive_bits[cur] & (cur ^ dst)
-        decreasing = usable & cur
-        # Highest set bit of `decreasing` via frexp (see _tree_kernel); the
-        # shift is clamped so the unselected branch never shifts by -1.
-        high = np.frexp(decreasing.astype(np.float64))[1]
-        clear_highest = np.left_shift(one, np.maximum(high, 1).astype(dtype) - one)
-        increasing = usable & ~cur
-        set_lowest = increasing & -increasing
-        bit = np.where(decreasing != 0, clear_highest, set_lowest)
-        # usable == 0 leaves bit == 0, i.e. next == cur, discarded via ok.
-        return cur ^ bit, usable != 0, _DEAD_END_CODE
-
-    return step
-
-
-def _xor_kernel(overlay, alive: np.ndarray):
-    """Greedy XOR routing: the alive neighbour strictly closest to the destination.
-
-    The factory rewrites every dead table entry to a sentinel beyond the
-    identifier space once, so the per-hop step needs neither an aliveness
-    gather nor a masking pass: a dead neighbour's XOR distance
-    (``>= alive.size``) can never win the argmin against an alive one
-    (``< 2^d``), and when no alive neighbour improves on the current
-    distance the winner fails the single improvement check on the winning
-    entry — exactly the scalar dead-end verdict.
-    """
-    tables = overlay.neighbor_array()
-    sentinel = _distance_sentinel(alive, tables.dtype)
-    masked_tables = np.where(alive[tables], tables, tables.dtype.type(sentinel))
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        neighbors = masked_tables[cur]  # (batch, d)
-        distances = neighbors ^ dst[:, None]
-        # XOR distances to a fixed destination are distinct across distinct
-        # neighbours, so the argmin is the unique scalar choice.
-        best = distances.argmin(axis=1)
-        rows = np.arange(cur.size)
-        ok = distances[rows, best] < (cur ^ dst)
-        return neighbors[rows, best], ok, _DEAD_END_CODE
-
-    return step
-
-
-def _ring_kernel(overlay, alive: np.ndarray):
-    """Greedy clockwise routing without overshooting (Chord and Symphony).
-
-    Dead table entries are rewritten to the node itself once, which makes
-    their clockwise progress exactly zero — the one value the scalar rule
-    already excludes — so the per-hop step skips the aliveness gather.
-    """
-    tables = overlay.neighbor_array()
-    n = _ring_modulus(overlay)
-    far = np.iinfo(tables.dtype).max
-    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
-    masked_tables = np.where(alive[tables], tables, self_column)
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        neighbors = masked_tables[cur]  # (batch, k)
-        # Same-cell differences stay inside (-n, n), so the physical modulus
-        # recovers the clockwise distances even on a disjoint-union view.
-        # Real neighbours have progress >= 1 (overlays never list a node as
-        # its own neighbour); dead ones were rewritten to progress == 0.
-        progress = (neighbors - cur[:, None]) % n
-        remaining = ((dst - cur) % n)[:, None]
-        usable = (progress != 0) & (progress <= remaining)
-        after = np.where(usable, remaining - progress, far)
-        # Ties in the remaining distance imply the same neighbour identifier,
-        # so argmin (first minimum) reproduces the scalar
-        # first-strict-improvement scan.
-        best = after.argmin(axis=1)
-        rows = np.arange(cur.size)
-        return neighbors[rows, best], usable[rows, best], _DEAD_END_CODE
-
-    return step
-
-
-_STEP_KERNELS = {
-    "tree": _tree_kernel,
-    "hypercube": _hypercube_kernel,
-    "xor": _xor_kernel,
-    "ring": _ring_kernel,
-    "smallworld": _ring_kernel,
-}
+def _wrap_outcome(
+    sources: np.ndarray, destinations: np.ndarray, triple: Tuple[np.ndarray, np.ndarray, np.ndarray]
+) -> BatchRouteOutcome:
+    """Assemble a backend's ``(succeeded, hops, codes)`` triple into an outcome."""
+    succeeded, hops, codes = triple
+    return BatchRouteOutcome(
+        sources=sources,
+        destinations=destinations,
+        succeeded=succeeded,
+        hops=hops,
+        failure_codes=codes,
+    )
 
 
 def _check_endpoints(
@@ -411,17 +278,6 @@ def _check_stacked_arguments(
     return sources, destinations, alive_stack, cell_indices
 
 
-def _geometry_kernel(overlay):
-    """The step-kernel factory for ``overlay``'s geometry, or a clear error."""
-    try:
-        return _STEP_KERNELS[overlay.geometry_name]
-    except KeyError as exc:
-        raise UnknownGeometryError(
-            f"no batch kernel for geometry {overlay.geometry_name!r}; "
-            f"expected one of {sorted(_STEP_KERNELS)}"
-        ) from exc
-
-
 def route_pairs(
     overlay: Overlay,
     sources: Sequence[int],
@@ -429,6 +285,7 @@ def route_pairs(
     alive: np.ndarray,
     *,
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> BatchRouteOutcome:
     """Route every (source, destination) pair on ``overlay`` under one survival mask.
 
@@ -436,7 +293,9 @@ def route_pairs(
     pair: outcomes agree pair-for-pair with the scalar path (same hops, same
     success flag, same failure reason).  ``batch_size`` optionally chunks the
     pair list to bound the ``batch × degree`` working-set size; chunking does
-    not change any outcome.
+    not change any outcome.  ``backend`` selects the kernel backend
+    (:func:`repro.sim.backends.resolve_backend`); every backend produces
+    bit-identical outcomes, so the choice only affects speed.
 
     Raises
     ------
@@ -445,9 +304,15 @@ def route_pairs(
         identical end-points, a dead end-point, an out-of-space identifier
         or a malformed survival mask.
     """
-    kernel = _geometry_kernel(overlay)
+    resolved = resolve_backend(backend)
+    if batch_size is not None:
+        batch_size = check_positive_int(batch_size, "batch_size")
     sources, destinations, alive = _check_batch_arguments(overlay, sources, destinations, alive)
-    return _route_chunked(overlay, kernel, sources, destinations, alive, batch_size)
+    return _wrap_outcome(
+        sources,
+        destinations,
+        resolved.route(overlay, sources, destinations, alive, batch_size=batch_size),
+    )
 
 
 #: Upper bound on union-table entries (~32 MB at int32, ~64 MB at int64,
@@ -491,6 +356,9 @@ class _UnionOverlayView:
         self._table = (table.astype(dtype)[None, :, :] + offsets[:, None, None]).reshape(
             self.n_nodes, table.shape[1]
         )
+        # Shared across every hop of the fused batch: a buggy kernel must
+        # fault loudly rather than silently corrupt the union table.
+        self._table.setflags(write=False)
 
     def neighbor_array(self) -> np.ndarray:
         return self._table
@@ -507,6 +375,7 @@ def route_pairs_stacked(
     cell_indices: Sequence[int],
     *,
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> BatchRouteOutcome:
     """Route pairs from many sweep cells of one overlay in a single fused batch.
 
@@ -533,14 +402,20 @@ def route_pairs_stacked(
         outside the stack or an end-point that is dead *in its own cell's
         mask* (aliveness in another cell's mask does not count).
     """
-    kernel = _geometry_kernel(overlay)
+    resolved = resolve_backend(backend)
+    if batch_size is not None:
+        batch_size = check_positive_int(batch_size, "batch_size")
     sources, destinations, alive_stack, cell_indices = _check_stacked_arguments(
         overlay, sources, destinations, alive_stack, cell_indices
     )
     n_cells = alive_stack.shape[0]
     if n_cells == 1:
         # A single cell needs no union arithmetic; route under its mask directly.
-        return _route_chunked(overlay, kernel, sources, destinations, alive_stack[0], batch_size)
+        return _wrap_outcome(
+            sources,
+            destinations,
+            resolved.route(overlay, sources, destinations, alive_stack[0], batch_size=batch_size),
+        )
     table = overlay.neighbor_array()
     cells_per_union = max(1, _MAX_UNION_TABLE_ELEMENTS // (table.shape[0] * table.shape[1]))
     if n_cells > cells_per_union:
@@ -560,6 +435,7 @@ def route_pairs_stacked(
                 alive_stack[start:stop],
                 cell_indices[selected] - start,
                 batch_size=batch_size,
+                backend=resolved,
             )
             succeeded[selected] = sub_outcome.succeeded
             hops[selected] = sub_outcome.hops
@@ -574,133 +450,15 @@ def route_pairs_stacked(
     union = _UnionOverlayView(overlay, n_cells)
     dtype = union.neighbor_array().dtype
     offsets = cell_indices * overlay.n_nodes
-    outcome = _route_chunked(
+    triple = resolved.route(
         union,
-        kernel,
         (sources + offsets).astype(dtype, copy=False),
         (destinations + offsets).astype(dtype, copy=False),
         alive_stack.reshape(-1),
-        batch_size,
+        batch_size=batch_size,
     )
     # Report the physical end-points, not the union's virtual identifiers.
-    return BatchRouteOutcome(
-        sources=sources,
-        destinations=destinations,
-        succeeded=outcome.succeeded,
-        hops=outcome.hops,
-        failure_codes=outcome.failure_codes,
-    )
-
-
-def _route_chunked(
-    overlay,
-    kernel,
-    sources: np.ndarray,
-    destinations: np.ndarray,
-    alive: np.ndarray,
-    batch_size: Optional[int],
-) -> BatchRouteOutcome:
-    """Apply the optional ``batch_size`` chunking shared by both routing entry points."""
-    step = kernel(overlay, alive)  # one mask-dependent precomputation per batch
-    if batch_size is not None:
-        batch_size = check_positive_int(batch_size, "batch_size")
-        if sources.size > batch_size:
-            chunks = [
-                _route_batch(
-                    overlay,
-                    step,
-                    sources[start : start + batch_size],
-                    destinations[start : start + batch_size],
-                )
-                for start in range(0, sources.size, batch_size)
-            ]
-            return BatchRouteOutcome(
-                sources=sources,
-                destinations=destinations,
-                succeeded=np.concatenate([c.succeeded for c in chunks]),
-                hops=np.concatenate([c.hops for c in chunks]),
-                failure_codes=np.concatenate([c.failure_codes for c in chunks]),
-            )
-    return _route_batch(overlay, step, sources, destinations)
-
-
-#: Active pairs handed to a step kernel per call.  Kernels allocate a handful
-#: of ``(batch, degree)`` temporaries per hop; blocking the batch keeps those
-#: resident in cache even when a fused multi-cell batch is hundreds of
-#: thousands of pairs wide.  Kernels are row-independent, so blocking cannot
-#: change any outcome.
-_KERNEL_BLOCK = 2048
-
-
-def _step_blocked(step, cur: np.ndarray, dst: np.ndarray):
-    """Run one hop's step over cache-sized blocks of the active set."""
-    size = cur.size
-    if size <= _KERNEL_BLOCK:
-        return step(cur, dst)
-    next_hop = np.empty(size, dtype=cur.dtype)
-    ok = np.empty(size, dtype=bool)
-    fail_code = _SUCCESS_CODE
-    for start in range(0, size, _KERNEL_BLOCK):
-        stop = start + _KERNEL_BLOCK
-        block_next, block_ok, fail_code = step(cur[start:stop], dst[start:stop])
-        next_hop[start:stop] = block_next
-        ok[start:stop] = block_ok
-    return next_hop, ok, fail_code
-
-
-def _route_batch(
-    overlay,
-    step,
-    sources: np.ndarray,
-    destinations: np.ndarray,
-) -> BatchRouteOutcome:
-    """Core batch loop: advance all active pairs one hop per iteration.
-
-    A pair is active from iteration 0 until it terminates and hops exactly
-    once per iteration it is active, so every active pair has taken
-    ``iteration`` hops — the scalar path's per-step hop-budget check reduces
-    to one counter comparison, and per-pair hop counts are written only at
-    the three termination events (arrival, drop, budget exhaustion).
-    """
-    n_pairs = sources.size
-    hop_limit = overlay.hop_limit()
-    current = sources.copy()
-    hops = np.zeros(n_pairs, dtype=np.int64)
-    succeeded = np.zeros(n_pairs, dtype=bool)
-    codes = np.full(n_pairs, _SUCCESS_CODE, dtype=np.int8)
-    active = np.arange(n_pairs, dtype=np.int64)  # end-points differ by precondition
-    iteration = 0
-
-    while active.size:
-        if iteration >= hop_limit:
-            # The scalar path checks the budget before every forwarding step;
-            # the failed hop is not counted, so hops stays at the limit.
-            codes[active] = _HOP_LIMIT_CODE
-            hops[active] = iteration
-            break
-        next_hop, ok, fail_code = _step_blocked(step, current[active], destinations[active])
-        if not ok.all():
-            dropped = active[~ok]
-            codes[dropped] = fail_code
-            hops[dropped] = iteration  # the failed hop is not counted
-            next_hop = next_hop[ok]
-            active = active[ok]
-        current[active] = next_hop
-        arrived = next_hop == destinations[active]
-        if arrived.any():
-            delivered = active[arrived]
-            succeeded[delivered] = True
-            hops[delivered] = iteration + 1
-            active = active[~arrived]
-        iteration += 1
-
-    return BatchRouteOutcome(
-        sources=sources,
-        destinations=destinations,
-        succeeded=succeeded,
-        hops=hops,
-        failure_codes=codes,
-    )
+    return _wrap_outcome(sources, destinations, triple)
 
 
 # --------------------------------------------------------------------- #
@@ -919,28 +677,87 @@ def _sample_cell(
     return alive, sources, destinations
 
 
-def _run_sweep_cell(spec: Tuple) -> SweepCellResult:
+# --------------------------------------------------------------------- #
+# per-phase profiling
+# --------------------------------------------------------------------- #
+#: Phases the sweep profiler attributes wall time to.  ``overlay_build``
+#: covers overlay construction / shared-table attachment, ``mask_generation``
+#: the survival-mask and pair sampling, ``kernel_hops`` the routing kernels
+#: themselves, ``reduction`` the per-cell metric summarisation, and
+#: ``publish_tables`` the parent-side shared-memory publication.
+PROFILE_PHASES = (
+    "overlay_build",
+    "mask_generation",
+    "kernel_hops",
+    "reduction",
+    "publish_tables",
+)
+
+
+class _PhaseClock:
+    """Accumulates wall time per named phase.
+
+    The bracketing is two ``perf_counter`` calls per phase per cell —
+    harmless next to the work being timed — and the timings ride back to the
+    :class:`SweepRunner` in each task's (picklable) return value, so the
+    profile covers worker processes as well as in-process dispatch.
+    """
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self._phase: Optional[str] = None
+        self._started = 0.0
+
+    def start(self, phase: str) -> None:
+        self._phase = phase
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._phase is not None:
+            self.add(self._phase, time.perf_counter() - self._started)
+            self._phase = None
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.timings[phase] = self.timings.get(phase, 0.0) + seconds
+
+
+def _run_sweep_cell(spec: Tuple) -> Tuple[SweepCellResult, Dict[str, float]]:
     """Worker entry point: route one cell of the sweep grid (top-level for pickling)."""
-    cell, pairs, base_seed, batch_size, overlay_options = spec
+    cell, pairs, base_seed, batch_size, overlay_options, backend_name = spec
+    clock = _PhaseClock()
+    clock.start("overlay_build")
     overlay = _cached_overlay(cell.geometry, cell.d, cell.replicate, base_seed, overlay_options)
+    clock.stop()
+    clock.start("mask_generation")
     sampled = _sample_cell(overlay, cell, pairs, base_seed)
+    clock.stop()
     if sampled is None:
-        return SweepCellResult(
+        result = SweepCellResult(
             cell=cell, pairs=pairs, metrics=_empty_outcome().to_metrics(), degenerate=True
         )
+        return result, clock.timings
     alive, sources, destinations = sampled
-    outcome = route_pairs(overlay, sources, destinations, alive, batch_size=batch_size)
-    return SweepCellResult(cell=cell, pairs=pairs, metrics=outcome.to_metrics())
+    clock.start("kernel_hops")
+    outcome = route_pairs(
+        overlay, sources, destinations, alive, batch_size=batch_size, backend=backend_name
+    )
+    clock.stop()
+    clock.start("reduction")
+    result = SweepCellResult(cell=cell, pairs=pairs, metrics=outcome.to_metrics())
+    clock.stop()
+    return result, clock.timings
 
 
-def _run_fused_group(spec: Tuple) -> List[SweepCellResult]:
+def _run_fused_group(spec: Tuple) -> Tuple[List[SweepCellResult], Dict[str, float]]:
     """Worker entry point: route every cell sharing one overlay in a single fused batch.
 
     The per-cell seed streams are the ones :func:`_run_sweep_cell` consumes,
     and the stacked kernels are row-independent, so each cell's metrics are
     bit-identical to the per-cell dispatch path.
     """
-    cells, pairs, base_seed, batch_size, overlay_options, table_ref = spec
+    cells, pairs, base_seed, batch_size, overlay_options, table_ref, backend_name = spec
+    clock = _PhaseClock()
+    clock.start("overlay_build")
     if table_ref is not None:
         overlay = _attached_overlay_view(table_ref)
     else:
@@ -948,11 +765,13 @@ def _run_fused_group(spec: Tuple) -> List[SweepCellResult]:
         overlay = _cached_overlay(
             first.geometry, first.d, first.replicate, base_seed, overlay_options
         )
+    clock.stop()
     results: Dict[SweepCell, SweepCellResult] = {}
     masks: List[np.ndarray] = []
     sources: List[np.ndarray] = []
     destinations: List[np.ndarray] = []
     routed: List[SweepCell] = []
+    clock.start("mask_generation")
     for cell in cells:
         sampled = _sample_cell(overlay, cell, pairs, base_seed)
         if sampled is None:
@@ -965,7 +784,9 @@ def _run_fused_group(spec: Tuple) -> List[SweepCellResult]:
         sources.append(cell_sources)
         destinations.append(cell_destinations)
         routed.append(cell)
+    clock.stop()
     if routed:
+        clock.start("kernel_hops")
         outcome = route_pairs_stacked(
             overlay,
             np.concatenate(sources),
@@ -973,13 +794,17 @@ def _run_fused_group(spec: Tuple) -> List[SweepCellResult]:
             np.stack(masks),
             np.repeat(np.arange(len(routed), dtype=np.int64), pairs),
             batch_size=batch_size,
+            backend=backend_name,
         )
+        clock.stop()
+        clock.start("reduction")
         for index, cell in enumerate(routed):
             cell_outcome = outcome.sliced(index * pairs, (index + 1) * pairs)
             results[cell] = SweepCellResult(
                 cell=cell, pairs=pairs, metrics=cell_outcome.to_metrics()
             )
-    return [results[cell] for cell in cells]
+        clock.stop()
+    return [results[cell] for cell in cells], clock.timings
 
 
 class SweepRunner:
@@ -1018,6 +843,11 @@ class SweepRunner:
     fused:
         ``True`` (default) dispatches one fused task per overlay build;
         ``False`` dispatches one task per cell.
+    backend:
+        Kernel backend for the routing hops (name or
+        :class:`~repro.sim.backends.KernelBackend`); ``"auto"`` (default)
+        selects the fastest available.  Workers inherit the resolved
+        backend, and results are bit-identical for every choice.
     overlay_options:
         Extra keyword arguments forwarded to the overlay builders (e.g.
         ``near_neighbors``/``shortcuts`` for Symphony).
@@ -1032,6 +862,7 @@ class SweepRunner:
         batch_size: Optional[int] = None,
         base_seed: int = 20060328,
         fused: bool = True,
+        backend: BackendLike = None,
         overlay_options: Optional[Mapping[str, object]] = None,
     ) -> None:
         self._pairs = check_positive_int(pairs, "pairs")
@@ -1044,8 +875,22 @@ class SweepRunner:
         # can produce it), so only negatives are rejected.
         self._base_seed = check_non_negative_int(base_seed, "base_seed")
         self._fused = bool(fused)
+        # Resolve once so "auto" (and a numba request without Numba) pins to
+        # a concrete backend that every dispatch — in-process or pooled —
+        # routes through.  Task specs carry the registry *name* when the
+        # resolved backend is the registry's own instance (workers re-resolve
+        # locally; JIT dispatchers need not pickle), and the instance itself
+        # for custom backends (which must then be picklable for workers > 1).
+        resolved = resolve_backend(backend)
+        self._backend_name = resolved.name
+        try:
+            canonical = resolve_backend(resolved.name) is resolved
+        except InvalidParameterError:
+            canonical = False
+        self._spec_backend: BackendLike = resolved.name if canonical else resolved
         self._overlay_options = tuple(sorted((overlay_options or {}).items()))
         self._completed: Dict[SweepCell, SweepCellResult] = {}
+        self._profile: Dict[str, float] = {}
         self._pool = None
         self._pool_size = 0
 
@@ -1058,6 +903,30 @@ class SweepRunner:
     def fused(self) -> bool:
         """Whether pending cells are dispatched fused by overlay build."""
         return self._fused
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the resolved kernel backend every dispatch routes through."""
+        return self._backend_name
+
+    @property
+    def profile(self) -> Dict[str, float]:
+        """Accumulated per-phase wall time (seconds) over every dispatched task.
+
+        Keys are drawn from :data:`PROFILE_PHASES`.  Worker-side phases are
+        summed across processes, so with ``workers > 1`` the total can
+        exceed elapsed wall-clock time; ratios between phases are the
+        meaningful signal.  Memoized cells add nothing (no work ran).
+        """
+        return dict(self._profile)
+
+    def reset_profile(self) -> None:
+        """Forget the accumulated per-phase timings."""
+        self._profile = {}
+
+    def _absorb_timings(self, timings: Mapping[str, float]) -> None:
+        for phase, seconds in timings.items():
+            self._profile[phase] = self._profile.get(phase, 0.0) + seconds
 
     # ------------------------------------------------------------------ #
     # worker-pool lifecycle
@@ -1134,14 +1003,27 @@ class SweepRunner:
     def _run_per_cell(self, pending: List[SweepCell]) -> List[SweepCellResult]:
         """PR-1 dispatch: one engine task per cell."""
         specs = [
-            (cell, self._pairs, self._base_seed, self._batch_size, self._overlay_options)
+            (
+                cell,
+                self._pairs,
+                self._base_seed,
+                self._batch_size,
+                self._overlay_options,
+                self._spec_backend,
+            )
             for cell in pending
         ]
         if self._workers > 1 and len(specs) > 1:
             # Chunk by (geometry, replicate) ordering so each worker reuses
             # its cached overlay across the q values it is handed.
-            return self._ensure_pool(len(specs)).map(_run_sweep_cell, specs)
-        return [_run_sweep_cell(spec) for spec in specs]
+            outcomes = self._ensure_pool(len(specs)).map(_run_sweep_cell, specs)
+        else:
+            outcomes = [_run_sweep_cell(spec) for spec in specs]
+        results = []
+        for result, timings in outcomes:
+            self._absorb_timings(timings)
+            results.append(result)
+        return results
 
     def _run_fused(self, pending: List[SweepCell]) -> List[SweepCellResult]:
         """Fused dispatch: one task per overlay build, routed as a stacked batch.
@@ -1165,10 +1047,18 @@ class SweepRunner:
                 pool = self._ensure_pool(len(groups))
                 dispatched = []
                 for (geometry, d, replicate), cells in groups.items():
+                    build_started = time.perf_counter()
                     overlay = _cached_overlay(
                         geometry, d, replicate, self._base_seed, self._overlay_options
                     )
+                    publish_started = time.perf_counter()
                     segment, table_ref = _publish_overlay_table(overlay)
+                    self._absorb_timings(
+                        {
+                            "overlay_build": publish_started - build_started,
+                            "publish_tables": time.perf_counter() - publish_started,
+                        }
+                    )
                     published.append(segment)
                     spec = (
                         tuple(cells),
@@ -1177,6 +1067,7 @@ class SweepRunner:
                         self._batch_size,
                         self._overlay_options,
                         table_ref,
+                        self._spec_backend,
                     )
                     dispatched.append(pool.apply_async(_run_fused_group, (spec,)))
                 grouped = [task.get() for task in dispatched]
@@ -1190,6 +1081,7 @@ class SweepRunner:
                             self._batch_size,
                             self._overlay_options,
                             None,
+                            self._spec_backend,
                         )
                     )
                     for cells in groups.values()
@@ -1201,7 +1093,11 @@ class SweepRunner:
                     segment.unlink()
                 except Exception:  # pragma: no cover - cleanup must not mask errors
                     pass
-        return [result for group in grouped for result in group]
+        results = []
+        for group, timings in grouped:
+            self._absorb_timings(timings)
+            results.extend(group)
+        return results
 
     def sweep(
         self, geometry: str, d: int, failure_probabilities: Sequence[float]
@@ -1247,4 +1143,5 @@ class SweepRunner:
             system=overlay_cls.system_name,
             d=d,
             results=tuple(point_results),
+            backend_name=self._backend_name,
         )

@@ -46,7 +46,7 @@ from ..validation import (
     check_identifier_length,
     check_positive_int,
 )
-from .engine import ROUTING_ENGINES, check_engine, route_pairs_stacked
+from .engine import ROUTING_ENGINES, BackendLike, check_engine, resolve_backend, route_pairs_stacked
 from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
@@ -112,12 +112,18 @@ class StaticResilienceResult:
 
 @dataclass(frozen=True)
 class ResilienceSweepResult:
-    """Measured routability of one overlay across a sweep of failure probabilities."""
+    """Measured routability of one overlay across a sweep of failure probabilities.
+
+    ``backend_name`` records which kernel backend produced the numbers (for
+    benchmark attribution); it is metadata only — every backend measures
+    bit-identical metrics.
+    """
 
     geometry: str
     system: str
     d: int
     results: Tuple[StaticResilienceResult, ...]
+    backend_name: Optional[str] = None
 
     @property
     def failure_probabilities(self) -> Tuple[float, ...]:
@@ -183,6 +189,7 @@ def measure_routability(
     failure_model: Optional[FailureModel] = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> StaticResilienceResult:
     """Estimate the routability of ``overlay`` at failure probability ``q``.
 
@@ -209,6 +216,10 @@ def measure_routability(
         random stream identically and produce identical metrics.
     batch_size:
         Optional chunk size for the batch engine (bounds peak memory).
+    backend:
+        Kernel backend for the batch engine (name or instance; ``"auto"``
+        picks the fastest available).  Backends are bit-identical, so the
+        choice only affects speed.
     """
     q = check_failure_probability(q)
     pairs = check_positive_int(pairs, "pairs")
@@ -250,6 +261,7 @@ def measure_routability(
             np.stack(trial_masks),
             np.repeat(np.arange(len(trial_masks), dtype=np.int64), pairs),
             batch_size=batch_size,
+            backend=backend,
         )
         # Per-trial metrics merged in trial order: bit-identical to pooling
         # one route_pairs call per trial.
@@ -280,11 +292,16 @@ def sweep_failure_probabilities(
     seed: Optional[int] = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> ResilienceSweepResult:
     """Measure routability of ``overlay`` across a sweep of failure probabilities."""
     if len(failure_probabilities) == 0:
         raise InvalidParameterError("failure_probabilities must not be empty")
     engine = check_engine(engine)
+    # The scalar oracle path routes through Overlay.route and uses no kernel
+    # backend at all; resolving one there would only emit a misleading
+    # fallback warning (and record a backend that produced nothing).
+    resolved_backend = resolve_backend(backend) if engine == "batch" else None
     generator = make_rng(rng, seed)
     results = tuple(
         measure_routability(
@@ -295,6 +312,7 @@ def sweep_failure_probabilities(
             rng=generator,
             engine=engine,
             batch_size=batch_size,
+            backend=resolved_backend,
         )
         for q in failure_probabilities
     )
@@ -303,6 +321,7 @@ def sweep_failure_probabilities(
         system=overlay.system_name,
         d=overlay.d,
         results=results,
+        backend_name=resolved_backend.name if resolved_backend is not None else None,
     )
 
 
@@ -316,6 +335,7 @@ def simulate_geometry(
     seed: Optional[int] = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
+    backend: BackendLike = None,
     **overlay_options,
 ) -> ResilienceSweepResult:
     """Build the overlay for ``geometry`` and sweep the given failure probabilities.
@@ -333,4 +353,5 @@ def simulate_geometry(
         rng=generator,
         engine=engine,
         batch_size=batch_size,
+        backend=backend,
     )

@@ -1,0 +1,369 @@
+"""Tests for the pluggable kernel-backend subsystem.
+
+Backend parity is the fourth copy of the routing invariant: every backend
+must agree **bit-for-bit, pair-for-pair** (success, hops, failure reason)
+with the per-cell NumPy path and hence with the scalar ``Overlay.route``
+oracle.  The JIT backend's loop bodies are plain Python functions compiled
+by Numba when it is installed; here they are exercised both ways — the
+uncompiled loops always (so the exact code Numba compiles is verified on
+every environment), the compiled loops whenever Numba is importable.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.dht.failures import survival_mask
+from repro.exceptions import InvalidParameterError, UnknownGeometryError
+from repro.sim.backends import (
+    BACKEND_CHOICES,
+    NUMBA_AVAILABLE,
+    KernelBackend,
+    NumpyBackend,
+    available_backends,
+    check_backend,
+    default_backend_name,
+    python_loop_backend,
+    resolve_backend,
+)
+from repro.sim.backends.base import pack_alive_words
+from repro.sim.engine import (
+    PROFILE_PHASES,
+    SweepRunner,
+    route_pairs,
+    route_pairs_stacked,
+)
+from repro.sim.sampling import sample_survivor_pair_arrays
+
+from conftest import SMALL_D
+
+
+def all_backends():
+    """Every backend implementation testable in this environment."""
+    backends = [NumpyBackend(), python_loop_backend()]
+    if NUMBA_AVAILABLE:
+        backends.append(resolve_backend("numba"))
+    return backends
+
+
+def backend_ids():
+    names = ["numpy", "python-loop"]
+    if NUMBA_AVAILABLE:
+        names.append("numba-jit")
+    return names
+
+
+def sampled_batch(overlay, q, count, seed):
+    rng = np.random.default_rng(seed)
+    alive = survival_mask(overlay.n_nodes, q, rng)
+    if int(alive.sum()) < 2:
+        pytest.skip(f"degenerate pattern at q={q}")
+    sources, destinations = sample_survivor_pair_arrays(alive, count, rng)
+    return alive, sources, destinations
+
+
+class TestRegistry:
+    def test_numpy_backend_is_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_available_backends_match_numba_importability(self):
+        assert ("numba" in available_backends()) == NUMBA_AVAILABLE
+
+    def test_backend_choices_cover_the_registry(self):
+        assert set(available_backends()) <= set(BACKEND_CHOICES)
+
+    def test_resolve_auto_prefers_the_fastest_available(self):
+        resolved = resolve_backend("auto")
+        assert resolved.name == ("numba" if NUMBA_AVAILABLE else "numpy")
+        assert default_backend_name() == resolved.name
+
+    def test_resolve_none_means_auto(self):
+        assert resolve_backend(None).name == resolve_backend("auto").name
+
+    def test_resolve_passes_instances_through(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_backend("cuda")
+        with pytest.raises(InvalidParameterError):
+            check_backend("scalar")
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="only meaningful without Numba")
+    def test_numba_request_without_numba_falls_back_to_numpy(self):
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy backend"):
+            resolved = resolve_backend("numba")
+        assert resolved.name == "numpy"
+
+    def test_scalar_engine_ignores_the_backend_without_warning(self, small_overlays):
+        # The scalar oracle path uses no kernel backend; a pinned backend
+        # must neither warn (numba absent) nor be recorded as the producer.
+        import warnings
+
+        from repro.sim.static_resilience import sweep_failure_probabilities
+
+        overlay = small_overlays["xor"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sweep = sweep_failure_probabilities(
+                overlay, [0.2], pairs=20, trials=1, seed=3, engine="scalar", backend="numba"
+            )
+        assert sweep.backend_name is None
+
+    def test_backends_are_kernel_backends(self):
+        for backend in all_backends():
+            assert isinstance(backend, KernelBackend)
+
+    def test_unknown_geometry_rejected_by_every_backend(self):
+        class FakeOverlay:
+            geometry_name = "torus"
+            d = 4
+            n_nodes = 16
+
+            def neighbor_array(self):
+                return np.zeros((16, 2), dtype=np.int64)
+
+            def hop_limit(self):
+                return 8
+
+        alive = np.ones(16, dtype=bool)
+        for backend in all_backends():
+            with pytest.raises(UnknownGeometryError):
+                backend.route(FakeOverlay(), np.array([0]), np.array([1]), alive)
+
+
+class TestAliveWordPacking:
+    @pytest.mark.parametrize("size", [1, 63, 64, 65, 200])
+    def test_packed_bits_roundtrip(self, size):
+        rng = np.random.default_rng(size)
+        alive = rng.random(size) < 0.5
+        words = pack_alive_words(alive)
+        assert words.dtype == np.uint64
+        assert words.size == (size + 63) // 64
+        for i in range(size):
+            bit = (int(words[i >> 6]) >> (i & 63)) & 1
+            assert bool(bit) == bool(alive[i]), i
+        # Pad bits beyond the mask read as dead.
+        for i in range(size, words.size * 64):
+            assert (int(words[i >> 6]) >> (i & 63)) & 1 == 0
+
+
+class TestBackendParity:
+    """Every backend agrees bit-for-bit with the scalar oracle and each other."""
+
+    @pytest.mark.parametrize("q", [0.0, 0.3, 0.6])
+    def test_backends_match_scalar_oracle_pair_for_pair(self, small_overlays, geometry_name, q):
+        overlay = small_overlays[geometry_name]
+        # crc32, not hash(): the sampled batch must not vary with
+        # PYTHONHASHSEED, or a parity failure would be unreproducible.
+        seed = zlib.crc32(f"backends-{geometry_name}-{q}".encode("utf-8"))
+        alive, sources, destinations = sampled_batch(overlay, q, 120, seed=seed)
+        outcomes = {
+            backend.name + str(i): route_pairs(
+                overlay, sources, destinations, alive, backend=backend
+            )
+            for i, backend in enumerate(all_backends())
+        }
+        oracle = [
+            overlay.route(int(source), int(destination), alive)
+            for source, destination in zip(sources.tolist(), destinations.tolist())
+        ]
+        for label, outcome in outcomes.items():
+            for i, route in enumerate(oracle):
+                assert bool(outcome.succeeded[i]) == route.succeeded, (label, i)
+                assert int(outcome.hops[i]) == route.hops, (label, i)
+                assert outcome.failure_reason(i) is route.failure_reason, (label, i)
+
+    def test_backends_match_on_stacked_multi_cell_batches(self, small_overlays, geometry_name):
+        overlay = small_overlays[geometry_name]
+        rng = np.random.default_rng(97)
+        masks, sources, destinations = [], [], []
+        for q in (0.0, 0.25, 0.55):
+            alive = survival_mask(overlay.n_nodes, q, rng)
+            if int(alive.sum()) < 2:
+                continue
+            src, dst = sample_survivor_pair_arrays(alive, 80, rng)
+            masks.append(alive)
+            sources.append(src)
+            destinations.append(dst)
+        arguments = (
+            np.concatenate(sources),
+            np.concatenate(destinations),
+            np.stack(masks),
+            np.repeat(np.arange(len(masks), dtype=np.int64), 80),
+        )
+        reference = route_pairs_stacked(overlay, *arguments, backend="numpy")
+        for backend in all_backends():
+            outcome = route_pairs_stacked(overlay, *arguments, backend=backend)
+            chunked = route_pairs_stacked(overlay, *arguments, backend=backend, batch_size=29)
+            for label, candidate in ((backend.name, outcome), (f"{backend.name}+chunk", chunked)):
+                assert np.array_equal(reference.succeeded, candidate.succeeded), label
+                assert np.array_equal(reference.hops, candidate.hops), label
+                assert np.array_equal(reference.failure_codes, candidate.failure_codes), label
+
+    def test_hop_limit_exhaustion_is_identical_across_backends(self, small_overlays):
+        # Force the budget to bite: a tiny hop limit makes long ring walks
+        # exhaust it, exercising the HOP_LIMIT_EXCEEDED bookkeeping.
+        overlay = small_overlays["ring"]
+        alive = np.ones(overlay.n_nodes, dtype=bool)
+        sources = np.arange(0, 32, dtype=np.int64)
+        destinations = (sources + overlay.n_nodes // 2) % overlay.n_nodes
+
+        class Limited:
+            def __getattr__(self, item):
+                return getattr(overlay, item)
+
+            def hop_limit(self):
+                return 2
+
+        limited = Limited()
+        reference = route_pairs(limited, sources, destinations, alive, backend="numpy")
+        for backend in all_backends():
+            outcome = route_pairs(limited, sources, destinations, alive, backend=backend)
+            assert np.array_equal(reference.succeeded, outcome.succeeded), backend.name
+            assert np.array_equal(reference.hops, outcome.hops), backend.name
+            assert np.array_equal(reference.failure_codes, outcome.failure_codes), backend.name
+        # The tiny budget must actually bite so the parity above covered the
+        # HOP_LIMIT_EXCEEDED branch of every backend.
+        from repro.sim.backends.base import HOP_LIMIT_CODE
+
+        assert (reference.failure_codes == HOP_LIMIT_CODE).any()
+
+
+class TestReadOnlyTables:
+    """Shared routing tables must reject writes (regression for satellite 1)."""
+
+    def test_neighbor_array_is_read_only(self, small_overlays, geometry_name):
+        table = small_overlays[geometry_name].neighbor_array()
+        assert not table.flags.writeable
+        with pytest.raises(ValueError):
+            table[0, 0] = 0
+
+    def test_union_view_table_is_read_only(self, small_overlays, geometry_name):
+        from repro.sim.engine import _UnionOverlayView
+
+        union = _UnionOverlayView(small_overlays[geometry_name], 3)
+        table = union.neighbor_array()
+        assert not table.flags.writeable
+        with pytest.raises(ValueError):
+            table[0, 0] = 0
+
+    def test_prepared_mask_tables_are_read_only(self, small_overlays, geometry_name):
+        # The numpy kernel factories derive sentinel-masked / bitset tables
+        # shared across every hop of a batch; they must be frozen too.
+        from repro.sim.backends import numpy_backend as module
+
+        overlay = small_overlays[geometry_name]
+        alive = survival_mask(overlay.n_nodes, 0.3, np.random.default_rng(5))
+        factory = module.geometry_step_factory(overlay)
+        step = factory(overlay, alive)
+        derived = [
+            cell.cell_contents
+            for cell in (step.__closure__ or [])
+            if isinstance(cell.cell_contents, np.ndarray) and cell.cell_contents.ndim >= 1
+        ]
+        frozen = [
+            array
+            for array in derived
+            # alive itself stays writable (caller-owned); derived tables not.
+            if array is not alive
+        ]
+        assert frozen, "expected the factory to close over derived tables"
+        for array in frozen:
+            assert not array.flags.writeable
+
+
+class TestSweepRunnerBackends:
+    def test_backend_name_is_exposed_and_resolved(self):
+        runner = SweepRunner(pairs=10, replicates=1, backend="auto")
+        assert runner.backend_name in available_backends()
+        pinned = SweepRunner(pairs=10, replicates=1, backend="numpy")
+        assert pinned.backend_name == "numpy"
+
+    def test_sweep_result_records_backend_name(self):
+        with SweepRunner(pairs=30, replicates=1, workers=1, base_seed=7) as runner:
+            sweep = runner.sweep("xor", SMALL_D, [0.2])
+        assert sweep.backend_name == runner.backend_name
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_backends_measure_identical_sweeps(self, workers):
+        grids = {}
+        for backend in ["numpy", python_loop_backend()] + (["numba"] if NUMBA_AVAILABLE else []):
+            # The python-loop backend cannot be dispatched to workers (it is
+            # not a registry name); run it in-process.
+            runner_workers = workers if isinstance(backend, str) else 1
+            with SweepRunner(
+                pairs=40,
+                replicates=2,
+                workers=runner_workers,
+                base_seed=321,
+                backend=backend,
+            ) as runner:
+                grids[str(backend)] = runner.run(
+                    ["tree", "ring"], SMALL_D, [0.1, 0.5]
+                )
+        reference = grids.pop("numpy")
+        for label, grid in grids.items():
+            assert grid.keys() == reference.keys(), label
+            for cell, expected in reference.items():
+                measured = grid[cell].metrics
+                assert measured.attempts == expected.metrics.attempts, (label, cell)
+                assert measured.successes == expected.metrics.successes, (label, cell)
+                assert measured.failure_reasons == expected.metrics.failure_reasons, (label, cell)
+                for field in ("mean_hops_successful", "mean_hops_failed"):
+                    a = getattr(measured, field)
+                    b = getattr(expected.metrics, field)
+                    assert a == b or (math.isnan(a) and math.isnan(b)), (label, cell, field)
+
+    def test_workers_inherit_the_backend(self):
+        # Worker specs carry the resolved backend name; a pooled run must
+        # produce the same metrics as the in-process run with that backend.
+        with SweepRunner(
+            pairs=30, replicates=2, workers=3, base_seed=11, backend="numpy"
+        ) as pooled:
+            pooled_grid = pooled.run(["hypercube"], SMALL_D, [0.2, 0.6])
+        with SweepRunner(
+            pairs=30, replicates=2, workers=1, base_seed=11, backend="numpy"
+        ) as solo:
+            solo_grid = solo.run(["hypercube"], SMALL_D, [0.2, 0.6])
+        for cell in solo_grid:
+            assert pooled_grid[cell].metrics.successes == solo_grid[cell].metrics.successes
+
+
+class TestProfile:
+    def test_profile_accumulates_known_phases(self):
+        with SweepRunner(pairs=50, replicates=2, workers=1, base_seed=13) as runner:
+            runner.sweep("ring", SMALL_D, [0.1, 0.4])
+            profile = runner.profile
+        assert profile, "expected a non-empty profile after a sweep"
+        assert set(profile) <= set(PROFILE_PHASES)
+        for phase in ("overlay_build", "mask_generation", "kernel_hops", "reduction"):
+            assert profile[phase] >= 0.0
+        assert profile["kernel_hops"] > 0.0
+
+    def test_profile_covers_worker_dispatch(self):
+        with SweepRunner(pairs=30, replicates=2, workers=2, base_seed=17) as runner:
+            runner.sweep("xor", SMALL_D, [0.2, 0.5])
+            profile = runner.profile
+        assert profile.get("kernel_hops", 0.0) > 0.0
+        # The pooled fused dispatch publishes tables from the parent.
+        assert "publish_tables" in profile
+
+    def test_reset_profile_clears_timings(self):
+        with SweepRunner(pairs=20, replicates=1, workers=1, base_seed=19) as runner:
+            runner.sweep("tree", SMALL_D, [0.3])
+            assert runner.profile
+            runner.reset_profile()
+            assert runner.profile == {}
+
+    def test_memoized_cells_add_no_profile_time(self):
+        with SweepRunner(pairs=20, replicates=1, workers=1, base_seed=23) as runner:
+            runner.sweep("ring", SMALL_D, [0.2])
+            first = runner.profile
+            runner.sweep("ring", SMALL_D, [0.2])  # fully memoized
+            assert runner.profile == first

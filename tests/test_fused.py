@@ -17,8 +17,10 @@ import pytest
 
 from repro.dht.failures import survival_mask
 from repro.exceptions import RoutingError
+from repro.sim.churn import ChurnConfig, simulate_churn
 from repro.sim.engine import SweepRunner, route_pairs, route_pairs_stacked
 from repro.sim.sampling import sample_survivor_pair_arrays
+from repro.sim.static_resilience import build_overlay
 
 from conftest import SMALL_D
 
@@ -213,6 +215,44 @@ class TestFusedSweepRunner:
             assert fused[cell].degenerate == expected.degenerate, cell
             assert fused[cell].pairs == expected.pairs, cell
             assert_metrics_equal(fused[cell].metrics, expected.metrics)
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_fused_matches_per_cell_odd_workers_nondefault_batch(self, geometry):
+        # An odd worker count (pool size != task-count divisors) combined
+        # with a non-default batch size exercises the chunked hop loop under
+        # pooled fused dispatch; metrics must stay bit-identical to the
+        # unchunked single-process per-cell reference.
+        reference = SweepRunner(
+            pairs=70, replicates=2, workers=1, base_seed=404, fused=False
+        ).run([geometry], SMALL_D, list(self.QS))
+        with SweepRunner(
+            pairs=70, replicates=2, workers=3, batch_size=17, base_seed=404, fused=True
+        ) as runner:
+            fused = runner.run([geometry], SMALL_D, list(self.QS))
+        assert fused.keys() == reference.keys()
+        for cell, expected in reference.items():
+            assert fused[cell].degenerate == expected.degenerate, cell
+            assert_metrics_equal(fused[cell].metrics, expected.metrics)
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_churn_fused_epoch_matches_scalar_with_nondefault_batch(self, geometry):
+        # The churn driver fuses every step's usable mask into one stacked
+        # batch; with a non-default batch size it must still match the
+        # scalar oracle path step for step, on every geometry.
+        config = ChurnConfig(
+            leave_probability=0.08,
+            rejoin_probability=0.05,
+            steps_per_epoch=6,
+            pairs_per_step=60,
+        )
+        overlay = build_overlay(geometry, SMALL_D, seed=1234)
+        batch = simulate_churn(overlay, config, seed=88, engine="batch", batch_size=23)
+        scalar = simulate_churn(overlay, config, seed=88, engine="scalar")
+        assert len(batch.steps) == len(scalar.steps)
+        for fused_step, scalar_step in zip(batch.steps, scalar.steps):
+            assert fused_step.step == scalar_step.step
+            assert fused_step.usable_fraction == scalar_step.usable_fraction
+            assert_metrics_equal(fused_step.metrics, scalar_step.metrics)
 
     def test_per_cell_workers_match_fused_pool(self):
         # Cross mode *and* worker count in one comparison.
