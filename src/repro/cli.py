@@ -13,28 +13,34 @@ Subcommands
 ``rcm simulate --geometry ring --d 10 --q 0.1 0.3 --pairs 1000``
     Run the Monte-Carlo overlay simulator and print measured routability.
     ``--engine batch|scalar`` selects the vectorized batch engine (default)
-    or the scalar oracle path; ``--backend auto|numpy|numba`` picks the
-    kernel backend (``auto`` selects the fastest available — the JIT
-    backend when the ``fast`` extra is installed); ``--workers N`` fans the
-    sweep across worker processes, ``--batch-size`` bounds the engine's
-    per-batch memory, and ``--fused`` / ``--per-cell`` toggle between
-    fusing all cells that share an overlay into one kernel invocation
-    (default) and the one-task-per-cell dispatch.  All combinations measure
-    bit-identical metrics.  ``--profile`` additionally prints the per-phase
-    wall-time breakdown (overlay build, mask generation, kernel hops,
-    reduction), and ``--json PATH`` writes rows + profile + backend
-    metadata to a JSON file.
+    or the scalar oracle path; ``--failure-model`` swaps the paper's
+    uniform failure model for one of the adversarial/correlated scenarios
+    (degree-targeted, regional, subtree, uniform+regional — the ``--q``
+    values are then the model's severities); ``--backend
+    auto|numpy|numba`` picks the kernel backend (``auto`` selects the
+    fastest available — the JIT backend when the ``fast`` extra is
+    installed); ``--workers N`` fans the sweep across worker processes,
+    ``--batch-size`` bounds the engine's per-batch memory, and ``--fused``
+    / ``--per-cell`` toggle between fusing all cells that share an overlay
+    into one kernel invocation (default) and the one-task-per-cell
+    dispatch.  All combinations measure bit-identical metrics.
+    ``--profile`` additionally prints the per-phase wall-time breakdown
+    (overlay build, mask generation, kernel hops, reduction), and ``--json
+    PATH`` writes rows + profile + backend metadata to a strictly valid
+    JSON file (non-finite metrics serialize as ``null``).
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Optional, Sequence
 
 from .core.geometry import list_geometries
 from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
+from .dht.failures import FAILURE_MODEL_KINDS
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
 from .sim.backends import BACKEND_CHOICES
@@ -95,6 +101,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--pairs", type=int, default=1000)
     simulate_parser.add_argument("--trials", type=int, default=3)
     simulate_parser.add_argument("--seed", type=int, default=PairWorkload().seed)
+    simulate_parser.add_argument(
+        "--failure-model",
+        choices=FAILURE_MODEL_KINDS,
+        default="uniform",
+        help=(
+            "failure model generating the survival masks: the paper's uniform model "
+            "(default), degree-targeted, a contiguous ring region, an aligned identifier "
+            "subtree, or a uniform+regional composite; the --q values are the model's "
+            "severities"
+        ),
+    )
     _add_engine_arguments(simulate_parser)
     simulate_parser.add_argument(
         "--profile",
@@ -220,6 +237,19 @@ def _profile_rows(profile) -> list:
     ]
 
 
+def _json_safe(value: object) -> object:
+    """Recursively replace non-finite floats with ``None`` so strict JSON accepts
+    the payload (``json.dump(..., allow_nan=False)``): degenerate sweeps must
+    export ``null``, never the literal ``NaN`` that ``jq``/``JSON.parse`` reject."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(entry) for entry in value]
+    return value
+
+
 def _command_simulate(arguments: argparse.Namespace) -> str:
     # The batch engine always sweeps through the SweepRunner (not the
     # sequential-stream driver) so the printed numbers are identical for
@@ -235,7 +265,12 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             fused=arguments.fused,
             backend=arguments.backend,
         ) as runner:
-            sweep = runner.sweep(arguments.geometry, arguments.d, arguments.q)
+            sweep = runner.sweep(
+                arguments.geometry,
+                arguments.d,
+                arguments.q,
+                failure_model=arguments.failure_model,
+            )
             profile = runner.profile
     else:
         sweep = simulate_geometry(
@@ -245,6 +280,7 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             pairs=arguments.pairs,
             trials=arguments.trials,
             seed=arguments.seed,
+            failure_models=arguments.failure_model,
             engine=arguments.engine,
             batch_size=arguments.batch_size,
             backend=arguments.backend,
@@ -253,7 +289,10 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
     sections = [
         render_table(
             rows,
-            title=f"Measured routability: {arguments.geometry} overlay, N=2^{arguments.d}",
+            title=(
+                f"Measured routability: {arguments.geometry} overlay, N=2^{arguments.d}, "
+                f"{arguments.failure_model} failures"
+            ),
         )
     ]
     if arguments.profile:
@@ -271,6 +310,7 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
         payload = {
             "geometry": arguments.geometry,
             "d": arguments.d,
+            "failure_model": arguments.failure_model,
             "engine": arguments.engine,
             "backend": sweep.backend_name,
             "workers": arguments.workers,
@@ -279,7 +319,9 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             "profile": profile,
         }
         with open(arguments.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+            # allow_nan=False turns any non-finite value that slips past the
+            # sanitizer into a hard error instead of invalid JSON output.
+            json.dump(_json_safe(payload), handle, indent=2, allow_nan=False)
             handle.write("\n")
     return "\n".join(sections)
 

@@ -21,10 +21,16 @@ from .identifiers import (
     xor_distance,
 )
 from .failures import (
+    FAILURE_MODEL_KINDS,
+    CompositeFailure,
+    DegreeTargetedFailure,
     FailureModel,
+    PrefixSubtreeFailure,
     RegionalFailure,
     TargetedNodeFailure,
     UniformNodeFailure,
+    check_failure_model_kind,
+    make_failure_model,
     survival_mask,
     surviving_identifiers,
 )
@@ -60,7 +66,13 @@ __all__ = [
     "FailureModel",
     "UniformNodeFailure",
     "TargetedNodeFailure",
+    "DegreeTargetedFailure",
     "RegionalFailure",
+    "PrefixSubtreeFailure",
+    "CompositeFailure",
+    "FAILURE_MODEL_KINDS",
+    "check_failure_model_kind",
+    "make_failure_model",
     "survival_mask",
     "surviving_identifiers",
     "Overlay",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidParameterError
 from .routing import FailureReason, RouteResult
@@ -85,6 +85,31 @@ class RoutingMetrics:
         if self.attempts == 0:
             return float("nan")
         return self.failures / self.attempts
+
+    @property
+    def measured(self) -> bool:
+        """Whether any routing attempt contributed to this summary.
+
+        Zero-attempt summaries (every trial degenerate at extreme severity)
+        have no defined routability; reports must treat them as "no data"
+        rather than propagating the ``nan`` sentinel into tables or JSON.
+        """
+        return self.attempts > 0
+
+    @property
+    def routability_or_none(self) -> Optional[float]:
+        """Routability as a finite float, or ``None`` when nothing was measured.
+
+        This is the serialization-safe view of :attr:`routability` used by
+        the tabular/JSON report paths (``None`` renders as ``-`` in tables
+        and ``null`` in JSON, both of which round-trip; ``nan`` does not).
+        """
+        return self.routability if self.measured else None
+
+    @property
+    def failed_path_fraction_or_none(self) -> Optional[float]:
+        """Failed-path fraction as a finite float, or ``None`` when nothing was measured."""
+        return self.failed_path_fraction if self.measured else None
 
     @property
     def routability_confidence_interval(self) -> Tuple[float, float]:

@@ -170,6 +170,21 @@ class Overlay(abc.ABC):
                 if neighbor == node:
                     raise TopologyError(f"node {node} lists itself as a neighbour")
 
+    def in_degree_ranking(self) -> np.ndarray:
+        """Node identifiers sorted by pristine-overlay in-degree, most-referenced first.
+
+        The in-degree of a node is the number of routing-table entries across
+        the whole overlay that point at it — the natural "importance" measure
+        an adversary would target (see
+        :class:`~repro.dht.failures.DegreeTargetedFailure` and the
+        EXT-FAILMODES experiment).  Ties are broken by ascending identifier
+        so the ranking is deterministic; the read-only array is cached on the
+        overlay like :meth:`neighbor_array`.
+        """
+        from .failures import cached_in_degree_ranking
+
+        return cached_in_degree_ranking(self)
+
     def degree_statistics(self) -> Dict[str, float]:
         """Out-degree statistics of the pristine overlay (min / mean / max)."""
         degrees = np.array([len(self.neighbors(node)) for node in self._space.identifiers()])

@@ -19,6 +19,7 @@ from .symphony_sensitivity import SymphonySensitivity
 from .xor_vs_tree_ablation import XorVersusTreeAblation
 from .percolation_vs_routability import PercolationVersusRoutability
 from .churn_applicability import ChurnApplicability
+from .failure_modes import FailureModeComparison
 
 __all__ = [
     "Experiment",
@@ -38,4 +39,5 @@ __all__ = [
     "XorVersusTreeAblation",
     "PercolationVersusRoutability",
     "ChurnApplicability",
+    "FailureModeComparison",
 ]

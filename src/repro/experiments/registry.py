@@ -16,6 +16,7 @@ from .symphony_sensitivity import SymphonySensitivity
 from .xor_vs_tree_ablation import XorVersusTreeAblation
 from .percolation_vs_routability import PercolationVersusRoutability
 from .churn_applicability import ChurnApplicability
+from .failure_modes import FailureModeComparison
 
 __all__ = ["EXPERIMENTS", "list_experiments", "get_experiment", "run_experiment"]
 
@@ -33,6 +34,7 @@ EXPERIMENTS: Dict[str, Type[Experiment]] = {
         XorVersusTreeAblation,
         PercolationVersusRoutability,
         ChurnApplicability,
+        FailureModeComparison,
     )
 }
 

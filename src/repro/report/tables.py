@@ -18,7 +18,9 @@ __all__ = ["format_value", "render_table", "render_csv"]
 
 
 def format_value(value: object, *, precision: int = 4) -> str:
-    """Render one cell: floats are rounded, NaN shown as ``-``, others via ``str``."""
+    """Render one cell: floats are rounded, NaN/None shown as ``-``, others via ``str``."""
+    if value is None:
+        return "-"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

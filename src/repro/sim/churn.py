@@ -144,14 +144,21 @@ class ChurnSimulationResult:
     config: ChurnConfig
     steps: Tuple[ChurnStepResult, ...]
 
-    def as_rows(self) -> List[Dict[str, float]]:
-        """Rows (one per step) for tabular reports."""
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows (one per step) for tabular reports.
+
+        Steps at which no pairs could be sampled (fewer than two usable
+        nodes) report ``None`` instead of a ``nan`` routability; the
+        ``attempts`` column makes the zero-attempt case explicit, so the
+        rows stay valid under strict JSON and clean in CSV/text reports.
+        """
         return [
             {
                 "step": result.step,
                 "effective_q": result.effective_q,
                 "usable_fraction": result.usable_fraction,
-                "measured_routability": result.measured_routability,
+                "measured_routability": result.metrics.routability_or_none,
+                "attempts": result.metrics.attempts,
             }
             for result in self.steps
         ]

@@ -34,10 +34,14 @@ Layered on top:
   matrix, so every cell of a sweep that shares one overlay advances in the
   same vectorized hop.  Kernels are row-independent, so stacked outcomes are
   bit-identical to routing each cell separately.
-* :class:`SweepRunner` — fan a ``(geometry × q × replicate)`` grid out
-  across ``multiprocessing`` workers, with deterministic per-cell seeding
-  (identical results for any worker count) and memoization of completed
-  cells.  In fused mode (the default) cells that share an overlay build are
+* :class:`SweepRunner` — fan a ``(geometry × failure-model × severity ×
+  replicate)`` grid out across ``multiprocessing`` workers, with
+  deterministic per-cell seeding (identical results for any worker count)
+  and memoization of completed cells.  The failure-model axis draws from
+  the scenario library in :mod:`repro.dht.failures` (uniform, targeted,
+  regional, subtree, composite), and mask generation is held to the same
+  bit-identity invariant as routing: every model produces the same masks on
+  the scalar, batch and fused paths.  In fused mode (the default) cells that share an overlay build are
   dispatched as one task, and the overlay's routing tables are published to
   the workers once via ``multiprocessing.shared_memory`` instead of being
   rebuilt per process.
@@ -56,7 +60,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..dht import OVERLAY_CLASSES, Overlay
-from ..dht.failures import survival_mask
+from ..dht.failures import check_failure_model_kind, make_failure_model
 from ..dht.metrics import RoutingMetrics
 from ..dht.routing import FAILURE_CODES, FailureReason, failure_reason_from_code
 from ..exceptions import InvalidParameterError, RoutingError, UnknownGeometryError
@@ -468,17 +472,22 @@ def route_pairs_stacked(
 class SweepCell:
     """One independent cell of a resilience sweep grid.
 
-    A cell is one ``(geometry, d, q, replicate)`` combination; replicates are
-    independent failure patterns (the scalar driver's ``trials``).  Each cell
-    derives its own random seeds from the runner's base seed, so its result
-    is a pure function of the cell key — the property that makes worker
-    fan-out deterministic and memoization sound.
+    A cell is one ``(geometry, d, model, severity, replicate)`` combination;
+    replicates are independent failure patterns (the scalar driver's
+    ``trials``).  ``model`` names a failure-model registry kind
+    (:data:`repro.dht.failures.FAILURE_MODEL_KINDS`) and ``q`` is that
+    model's severity — the failure probability for the default uniform
+    model, the failed fraction for the targeted/correlated models.  Each
+    cell derives its own random seeds from the runner's base seed, so its
+    result is a pure function of the cell key — the property that makes
+    worker fan-out deterministic and memoization sound.
     """
 
     geometry: str
     d: int
     q: float
     replicate: int
+    model: str = "uniform"
 
 
 @dataclass(frozen=True)
@@ -657,12 +666,44 @@ def _attached_overlay_view(ref: _SharedTableRef) -> _SharedOverlayView:
 
 
 def _cell_routing_rng(base_seed: int, cell: SweepCell) -> np.random.Generator:
-    """The per-cell routing stream; identical for the fused and per-cell paths."""
+    """The per-cell routing stream; identical for the fused and per-cell paths.
+
+    Uniform cells keep the original ``(geometry, d, replicate, q)`` entropy
+    key so their streams — and every benchmark reference vendored against
+    them — stay bit-identical; non-uniform models extend the key with the
+    model kind so each model gets an independent stream at the same
+    severity.
+    """
+    key: Tuple = (cell.geometry, cell.d, cell.replicate, cell.q)
+    if cell.model != "uniform":
+        key = key + (cell.model,)
     return np.random.default_rng(
-        np.random.SeedSequence(
-            _cell_entropy(base_seed, "routing", (cell.geometry, cell.d, cell.replicate, cell.q))
-        )
+        np.random.SeedSequence(_cell_entropy(base_seed, "routing", key))
     )
+
+
+def _bound_failure_model(overlay, kind: str, severity: float):
+    """The bound model for ``(kind, severity)``, memoized on the overlay.
+
+    Binding can be expensive relative to a cell's sampling work (the
+    targeted model validates a full in-degree ranking), and a sweep grid
+    revisits the same ``(kind, severity)`` for every replicate of an
+    overlay; the cache lives on the overlay object so it expires with the
+    bounded overlay/attachment LRUs.
+    """
+    cache = getattr(overlay, "_bound_model_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            overlay._bound_model_cache = cache
+        except AttributeError:  # pragma: no cover - read-only view objects
+            return make_failure_model(kind, severity).bind(overlay)
+    key = (kind, severity)
+    model = cache.get(key)
+    if model is None:
+        model = make_failure_model(kind, severity).bind(overlay)
+        cache[key] = model
+    return model
 
 
 def _sample_cell(
@@ -670,7 +711,8 @@ def _sample_cell(
 ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Sample one cell's survival mask and pairs; ``None`` marks a degenerate cell."""
     rng = _cell_routing_rng(base_seed, cell)
-    alive = survival_mask(overlay.n_nodes, cell.q, rng)
+    model = _bound_failure_model(overlay, cell.model, cell.q)
+    alive = model.sample(overlay.n_nodes, rng)
     if int(alive.sum()) < 2:
         return None
     sources, destinations = sample_survivor_pair_arrays(alive, pairs, rng)
@@ -808,7 +850,8 @@ def _run_fused_group(spec: Tuple) -> Tuple[List[SweepCellResult], Dict[str, floa
 
 
 class SweepRunner:
-    """Fan a ``(geometry × q × replicate)`` resilience grid across worker processes.
+    """Fan a ``(geometry × model × severity × replicate)`` resilience grid across
+    worker processes.
 
     Every cell of the grid is seeded independently from ``base_seed`` (see
     :class:`SweepCell`), so the measured metrics are identical for any
@@ -967,17 +1010,28 @@ class SweepRunner:
             pass
 
     def _grid(
-        self, geometries: Sequence[str], d: int, failure_probabilities: Sequence[float]
+        self,
+        geometries: Sequence[str],
+        d: int,
+        failure_probabilities: Sequence[float],
+        failure_models: Optional[Sequence[str]] = None,
     ) -> List[SweepCell]:
         if not geometries:
             raise InvalidParameterError("geometries must not be empty")
         if not len(failure_probabilities):
             raise InvalidParameterError("failure_probabilities must not be empty")
+        models = ("uniform",) if failure_models is None else tuple(failure_models)
+        if not models:
+            raise InvalidParameterError("failure_models must not be empty")
+        models = tuple(check_failure_model_kind(model) for model in models)
         # Replicate-major before q: consecutive cells share one overlay build,
         # so a worker's overlay cache hits across the q values it is handed.
+        # Models sit between geometry and replicate, so every model of one
+        # (geometry, replicate) lands in the same fused overlay group.
         return [
-            SweepCell(geometry=g, d=d, q=check_failure_probability(q), replicate=r)
+            SweepCell(geometry=g, d=d, q=check_failure_probability(q), replicate=r, model=m)
             for g in geometries
+            for m in models
             for r in range(self._replicates)
             for q in failure_probabilities
         ]
@@ -987,9 +1041,16 @@ class SweepRunner:
         geometries: Sequence[str],
         d: int,
         failure_probabilities: Sequence[float],
+        failure_models: Optional[Sequence[str]] = None,
     ) -> Dict[SweepCell, SweepCellResult]:
-        """Compute (or recall) every cell of the grid; returns cell -> result."""
-        grid = self._grid(geometries, d, failure_probabilities)
+        """Compute (or recall) every cell of the grid; returns cell -> result.
+
+        ``failure_models`` names the failure-model kinds of the grid's model
+        axis (:data:`repro.dht.failures.FAILURE_MODEL_KINDS`); the default
+        is the paper's uniform model only.  ``failure_probabilities`` are
+        the severities of the severity axis, interpreted by each model.
+        """
+        grid = self._grid(geometries, d, failure_probabilities, failure_models)
         pending = [cell for cell in grid if cell not in self._completed]
         if pending:
             if self._fused:
@@ -1100,20 +1161,30 @@ class SweepRunner:
         return results
 
     def sweep(
-        self, geometry: str, d: int, failure_probabilities: Sequence[float]
+        self,
+        geometry: str,
+        d: int,
+        failure_probabilities: Sequence[float],
+        failure_model: str = "uniform",
     ) -> "ResilienceSweepResult":
-        """Run one geometry's sweep and pool replicates into the standard result types."""
+        """Run one geometry's sweep under one failure model and pool replicates
+        into the standard result types."""
         # Imported here: static_resilience imports this module at load time.
         from .static_resilience import ResilienceSweepResult, StaticResilienceResult
 
-        cell_results = self.run([geometry], d, failure_probabilities)
+        failure_model = check_failure_model_kind(failure_model)
+        cell_results = self.run([geometry], d, failure_probabilities, [failure_model])
         overlay_cls = OVERLAY_CLASSES[geometry]
         point_results = []
         for q in failure_probabilities:
             pooled: Optional[RoutingMetrics] = None
             degenerate = 0
             for replicate in range(self._replicates):
-                result = cell_results[SweepCell(geometry=geometry, d=d, q=q, replicate=replicate)]
+                result = cell_results[
+                    SweepCell(
+                        geometry=geometry, d=d, q=q, replicate=replicate, model=failure_model
+                    )
+                ]
                 if result.degenerate:
                     degenerate += 1
                     continue
@@ -1136,6 +1207,7 @@ class SweepRunner:
                     pairs_per_trial=self._pairs,
                     metrics=pooled,
                     degenerate_trials=degenerate,
+                    failure_model=failure_model,
                 )
             )
         return ResilienceSweepResult(
@@ -1144,4 +1216,5 @@ class SweepRunner:
             d=d,
             results=tuple(point_results),
             backend_name=self._backend_name,
+            failure_model=failure_model,
         )

@@ -27,7 +27,7 @@ path is the oracle), so the choice only affects speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from ..dht import (
     make_rng,
     summarize_routes,
 )
-from ..dht.failures import FailureModel
+from ..dht.failures import FailureModel, make_failure_model
 from ..exceptions import InvalidParameterError, UnknownGeometryError
 from ..validation import (
     check_failure_probability,
@@ -83,6 +83,10 @@ class StaticResilienceResult:
     degenerate_trials:
         Trials in which fewer than two nodes survived (possible only at
         extreme ``q``); such trials contribute no routing attempts.
+    failure_model:
+        Label of the failure model that generated the survival masks: a
+        registry kind (``"uniform"``, ``"targeted"``, ...) or a custom
+        model's description.  ``q`` is that model's severity.
     """
 
     geometry: str
@@ -93,6 +97,7 @@ class StaticResilienceResult:
     pairs_per_trial: int
     metrics: RoutingMetrics
     degenerate_trials: int = 0
+    failure_model: str = "uniform"
 
     @property
     def routability(self) -> float:
@@ -116,7 +121,8 @@ class ResilienceSweepResult:
 
     ``backend_name`` records which kernel backend produced the numbers (for
     benchmark attribution); it is metadata only — every backend measures
-    bit-identical metrics.
+    bit-identical metrics.  ``failure_model`` labels the failure model the
+    sweep ran under (``"mixed"`` when the points used different models).
     """
 
     geometry: str
@@ -124,6 +130,7 @@ class ResilienceSweepResult:
     d: int
     results: Tuple[StaticResilienceResult, ...]
     backend_name: Optional[str] = None
+    failure_model: str = "uniform"
 
     @property
     def failure_probabilities(self) -> Tuple[float, ...]:
@@ -140,13 +147,23 @@ class ResilienceSweepResult:
         """Measured routability for each ``q``."""
         return tuple(result.routability for result in self.results)
 
-    def as_rows(self) -> List[Dict[str, float]]:
-        """Rows suitable for tabular reports: one dict per ``q``."""
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for tabular reports: one dict per ``q``.
+
+        Zero-attempt points (every trial degenerate at extreme severity)
+        report ``None`` rather than ``nan`` — the ``attempts`` column makes
+        the "no data" case explicit, and ``None`` survives both CSV/text
+        rendering (as ``-``) and strict JSON (as ``null``).
+        """
         return [
             {
                 "q": result.q,
-                "routability": result.routability,
-                "failed_path_percent": result.failed_path_percent,
+                "routability": result.metrics.routability_or_none,
+                "failed_path_percent": (
+                    100.0 * result.metrics.failed_path_fraction_or_none
+                    if result.metrics.measured
+                    else None
+                ),
                 "attempts": result.metrics.attempts,
             }
             for result in self.results
@@ -207,7 +224,11 @@ def measure_routability(
         Independent failure patterns to average over.
     failure_model:
         Optional alternative failure model; defaults to the paper's uniform
-        node-failure model with probability ``q``.
+        node-failure model with probability ``q``.  The model is bound to
+        the overlay first (:meth:`~repro.dht.failures.FailureModel.bind`),
+        so overlay-dependent models such as
+        :class:`~repro.dht.failures.DegreeTargetedFailure` can be passed
+        directly.
     engine:
         ``"batch"`` stacks all trials' survival masks and routes every
         sampled pair of the measurement in one fused engine invocation
@@ -227,17 +248,26 @@ def measure_routability(
     engine = check_engine(engine)
     generator = make_rng(rng, seed)
     model = failure_model if failure_model is not None else UniformNodeFailure(q)
+    model_label = "uniform" if failure_model is None else failure_model.description
+    model = model.bind(overlay)
 
     pooled: Optional[RoutingMetrics] = None
     degenerate = 0
-    # Sampling stays a sequential per-trial loop (the random stream must match
-    # the scalar path draw for draw); under the batch engine the routing itself
-    # is deferred and fused across trials, which consumes no randomness.
+    # Mask generation is one vectorized sample_batch call — property-tested
+    # stream-identical to sampling the masks one trial at a time — while
+    # pair sampling stays a sequential per-trial loop.  Both engines share
+    # this sampling code, so batch and scalar consume the stream draw for
+    # draw and measure bit-identical metrics.  Note the draw *order* is
+    # masks-then-pairs since PR 4 (previously mask and pair draws
+    # interleaved per trial), so seeded multi-trial numbers differ from
+    # pre-PR-4 releases; the cross-engine/dispatch/backend invariants are
+    # unaffected.  Under the batch engine the routing itself is deferred
+    # and fused across trials, which consumes no randomness.
+    all_masks = model.sample_batch(overlay.n_nodes, trials, generator)
     trial_masks: List[np.ndarray] = []
     trial_sources: List[np.ndarray] = []
     trial_destinations: List[np.ndarray] = []
-    for _ in range(trials):
-        alive = model.sample(overlay.n_nodes, generator)
+    for alive in all_masks:
         if int(alive.sum()) < 2:
             degenerate += 1
             continue
@@ -279,7 +309,48 @@ def measure_routability(
         pairs_per_trial=pairs,
         metrics=pooled,
         degenerate_trials=degenerate,
+        failure_model=model_label,
     )
+
+
+FailureModelsLike = Union[str, FailureModel, Sequence[Optional[FailureModel]], None]
+
+
+def _resolve_sweep_models(
+    failure_probabilities: Sequence[float], failure_models: FailureModelsLike
+) -> Tuple[List[Optional[FailureModel]], str]:
+    """Per-point failure models plus the sweep's model label.
+
+    ``failure_models`` may be ``None`` (the paper's uniform model at every
+    point), a registry kind name (one model of that kind per point, at the
+    point's severity), a single :class:`FailureModel` (reused at every
+    point; the severities are then reporting-only), or a sequence of models
+    aligned with ``failure_probabilities``.
+    """
+    count = len(failure_probabilities)
+    if failure_models is None:
+        return [None] * count, "uniform"
+    if isinstance(failure_models, str):
+        if failure_models == "uniform":
+            # The default path, spelled explicitly: keep the exact uniform
+            # metadata and stream of failure_models=None.
+            return [None] * count, "uniform"
+        return (
+            [make_failure_model(failure_models, q) for q in failure_probabilities],
+            failure_models,
+        )
+    if isinstance(failure_models, FailureModel):
+        return [failure_models] * count, failure_models.description
+    models = list(failure_models)
+    if len(models) != count:
+        raise InvalidParameterError(
+            f"failure_models has {len(models)} entries but the sweep has "
+            f"{count} failure probabilities"
+        )
+    labels = {
+        "uniform" if model is None else model.description for model in models
+    }
+    return models, labels.pop() if len(labels) == 1 else "mixed"
 
 
 def sweep_failure_probabilities(
@@ -290,14 +361,21 @@ def sweep_failure_probabilities(
     trials: int = 3,
     rng: Optional[np.random.Generator] = None,
     seed: Optional[int] = None,
+    failure_models: FailureModelsLike = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
 ) -> ResilienceSweepResult:
-    """Measure routability of ``overlay`` across a sweep of failure probabilities."""
+    """Measure routability of ``overlay`` across a sweep of failure probabilities.
+
+    ``failure_models`` selects the failure model(s) the sweep runs under
+    (see :func:`_resolve_sweep_models` for the accepted forms); by default
+    every point uses the paper's uniform model at its ``q``.
+    """
     if len(failure_probabilities) == 0:
         raise InvalidParameterError("failure_probabilities must not be empty")
     engine = check_engine(engine)
+    models, model_label = _resolve_sweep_models(failure_probabilities, failure_models)
     # The scalar oracle path routes through Overlay.route and uses no kernel
     # backend at all; resolving one there would only emit a misleading
     # fallback warning (and record a backend that produced nothing).
@@ -310,11 +388,12 @@ def sweep_failure_probabilities(
             pairs=pairs,
             trials=trials,
             rng=generator,
+            failure_model=model,
             engine=engine,
             batch_size=batch_size,
             backend=resolved_backend,
         )
-        for q in failure_probabilities
+        for q, model in zip(failure_probabilities, models)
     )
     return ResilienceSweepResult(
         geometry=overlay.geometry_name,
@@ -322,6 +401,7 @@ def sweep_failure_probabilities(
         d=overlay.d,
         results=results,
         backend_name=resolved_backend.name if resolved_backend is not None else None,
+        failure_model=model_label,
     )
 
 
@@ -333,6 +413,7 @@ def simulate_geometry(
     pairs: int = 2000,
     trials: int = 3,
     seed: Optional[int] = None,
+    failure_models: FailureModelsLike = None,
     engine: str = "batch",
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
@@ -351,6 +432,7 @@ def simulate_geometry(
         pairs=pairs,
         trials=trials,
         rng=generator,
+        failure_models=failure_models,
         engine=engine,
         batch_size=batch_size,
         backend=backend,

@@ -17,7 +17,7 @@ import zlib
 import numpy as np
 import pytest
 
-from repro.dht.failures import survival_mask
+from repro.dht.failures import FAILURE_MODEL_KINDS, make_failure_model, survival_mask
 from repro.exceptions import InvalidParameterError, UnknownGeometryError
 from repro.sim.backends import (
     BACKEND_CHOICES,
@@ -38,6 +38,7 @@ from repro.sim.engine import (
     route_pairs_stacked,
 )
 from repro.sim.sampling import sample_survivor_pair_arrays
+from repro.sim.static_resilience import measure_routability
 
 from conftest import SMALL_D
 
@@ -367,3 +368,29 @@ class TestProfile:
             first = runner.profile
             runner.sweep("ring", SMALL_D, [0.2])  # fully memoized
             assert runner.profile == first
+
+
+class TestFailureModelBackendParity:
+    """Non-uniform failure models measure bit-identical metrics on every
+    backend: masks are generated before the kernels run, so backend choice
+    must stay invisible across the whole scenario library."""
+
+    @pytest.mark.parametrize("kind", FAILURE_MODEL_KINDS)
+    def test_measurement_is_backend_invariant(self, small_overlays, kind):
+        overlay = small_overlays["xor"]
+        results = [
+            measure_routability(
+                overlay, 0.35, pairs=80, trials=2, seed=29,
+                failure_model=make_failure_model(kind, 0.35),
+                engine="batch", backend=backend,
+            )
+            for backend in all_backends()
+        ]
+        reference = results[0].metrics
+        for result in results[1:]:
+            assert result.metrics.attempts == reference.attempts
+            assert result.metrics.successes == reference.successes
+            assert result.metrics.failure_reasons == reference.failure_reasons
+            for field in ("mean_hops_successful", "mean_hops_failed"):
+                a, b = getattr(result.metrics, field), getattr(reference, field)
+                assert a == b or (math.isnan(a) and math.isnan(b)), field

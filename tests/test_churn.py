@@ -128,3 +128,19 @@ class TestSimulateChurn:
         for step in result.steps:
             predicted = geometry.routability(step.effective_q, d=overlay.d)
             assert step.measured_routability == pytest.approx(predicted, abs=0.08)
+
+
+class TestChurnRows:
+    def test_rows_expose_attempts_and_none_for_unmeasured_steps(self, small_overlays):
+        # Certain leave, no rejoin: after step 1 nothing is usable, so later
+        # steps measure nothing and must say so explicitly instead of nan.
+        config = ChurnConfig(
+            leave_probability=1.0, rejoin_probability=0.0,
+            steps_per_epoch=3, pairs_per_step=20,
+        )
+        result = simulate_churn(small_overlays["ring"], config, seed=5)
+        rows = result.as_rows()
+        assert all("attempts" in row for row in rows)
+        assert rows[-1]["attempts"] == 0
+        assert rows[-1]["measured_routability"] is None
+        assert not result.steps[-1].metrics.measured

@@ -118,3 +118,77 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert output.splitlines()[0].startswith("n_nodes")
+
+
+class TestFailureModelOption:
+    def test_uniform_is_the_default(self):
+        arguments = build_parser().parse_args(
+            ["simulate", "--geometry", "ring", "--q", "0.1", "--d", "8"]
+        )
+        assert arguments.failure_model == "uniform"
+
+    def test_unknown_model_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--geometry", "ring", "--q", "0.1", "--failure-model", "meteor"]
+            )
+
+    @pytest.mark.parametrize("model", ["targeted", "regional", "subtree", "uniform+regional"])
+    def test_simulate_runs_under_every_model(self, model, capsys):
+        assert main(
+            [
+                "simulate", "--geometry", "xor", "--d", "6",
+                "--q", "0.3", "--pairs", "40", "--trials", "1",
+                "--failure-model", model,
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert model in output  # the table title names the model
+
+    def test_per_cell_matches_fused_for_nonuniform_model(self, capsys):
+        command = [
+            "simulate", "--geometry", "ring", "--d", "6",
+            "--q", "0.2", "0.5", "--pairs", "60", "--trials", "2",
+            "--failure-model", "regional",
+        ]
+        assert main(command) == 0
+        fused_output = capsys.readouterr().out
+        assert main([*command, "--per-cell"]) == 0
+        assert fused_output == capsys.readouterr().out
+
+
+class TestJsonExport:
+    def _export(self, tmp_path, capsys, *extra):
+        path = tmp_path / "out.json"
+        assert main(
+            [
+                "simulate", "--geometry", "ring", "--d", "2",
+                "--q", "0.97", "--pairs", "10", "--trials", "3",
+                "--json", str(path), *extra,
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path.read_text(encoding="utf-8")
+
+    @pytest.mark.parametrize("extra", [(), ("--engine", "scalar")])
+    def test_degenerate_sweep_exports_strict_json(self, tmp_path, capsys, extra):
+        # Regression: at q=0.97 on a 4-node ring every trial is degenerate and
+        # the routability is undefined; the export used to contain the literal
+        # NaN, which jq/JSON.parse reject.
+        import json
+
+        text = self._export(tmp_path, capsys, *extra)
+        assert "NaN" not in text
+
+        def reject_constant(name):  # json.loads only calls this for NaN/Infinity
+            raise AssertionError(f"non-finite constant {name} in JSON export")
+
+        payload = json.loads(text, parse_constant=reject_constant)
+        assert payload["rows"][0]["routability"] is None
+        assert payload["rows"][0]["attempts"] == 0
+
+    def test_export_records_the_failure_model(self, tmp_path, capsys):
+        import json
+
+        text = self._export(tmp_path, capsys, "--failure-model", "regional")
+        assert json.loads(text)["failure_model"] == "regional"

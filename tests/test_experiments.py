@@ -238,3 +238,59 @@ class TestConfigScaling:
         assert config.resolved_workload().pairs < 1000
         full = ExperimentConfig(fast=False, workload=PairWorkload(pairs=1000, trials=2))
         assert full.resolved_workload().pairs == 1000
+
+
+class TestFailureModes:
+    def test_registered_and_listed(self):
+        assert "EXT-FAILMODES" in EXPERIMENTS
+        assert get_experiment("ext-failmodes").experiment_id == "EXT-FAILMODES"
+
+    def test_one_table_per_model_plus_summary(self, results):
+        result = results["EXT-FAILMODES"]
+        assert set(result.tables) == {
+            "failed_path_percent_uniform",
+            "failed_path_percent_targeted",
+            "failed_path_percent_regional",
+            "model_comparison_at_reference_severity",
+        }
+        for name in ("uniform", "targeted", "regional"):
+            rows = result.table(f"failed_path_percent_{name}")
+            assert set(rows[0]) == {"severity", "tree", "hypercube", "xor", "ring", "smallworld"}
+
+    def test_no_failures_means_no_failed_paths_under_every_model(self, results):
+        for name in ("uniform", "targeted", "regional"):
+            row = results["EXT-FAILMODES"].table(f"failed_path_percent_{name}")[0]
+            assert row["severity"] == 0.0
+            for geometry in ("tree", "hypercube", "xor", "ring", "smallworld"):
+                assert row[geometry] == pytest.approx(0.0)
+
+    def test_values_are_percentages_or_missing(self, results):
+        for name in ("uniform", "targeted", "regional"):
+            for row in results["EXT-FAILMODES"].table(f"failed_path_percent_{name}"):
+                for geometry in ("tree", "hypercube", "xor", "ring", "smallworld"):
+                    value = row[geometry]
+                    assert value is None or (
+                        0.0 <= value <= 100.0 and not math.isnan(value)
+                    )
+
+    def test_uniform_table_matches_direct_sweep_runner(self, results, fast_config):
+        # The experiment's uniform column is the ordinary SweepRunner sweep:
+        # same seeds, same engine, so the numbers must agree exactly.
+        from repro.experiments.failure_modes import FAST_D
+        from repro.sim.engine import SweepRunner
+
+        workload = fast_config.resolved_workload()
+        result = results["EXT-FAILMODES"]
+        severities = list(result.parameters["severities"])
+        with SweepRunner(
+            pairs=workload.pairs,
+            replicates=workload.trials,
+            base_seed=workload.derived_seed("failmodes"),
+        ) as runner:
+            sweep = runner.sweep("xor", FAST_D, severities, failure_model="uniform")
+        expected = [
+            100.0 * r.metrics.failed_path_fraction_or_none if r.metrics.measured else None
+            for r in sweep.results
+        ]
+        observed = [row["xor"] for row in result.table("failed_path_percent_uniform")]
+        assert observed == expected

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.dht.failures import survival_mask
-from repro.exceptions import RoutingError
+from repro.exceptions import InvalidParameterError, RoutingError
 from repro.sim.churn import ChurnConfig, simulate_churn
 from repro.sim.engine import SweepRunner, route_pairs, route_pairs_stacked
 from repro.sim.sampling import sample_survivor_pair_arrays
@@ -303,3 +303,66 @@ class TestFusedSweepRunner:
         dense_sweep = dense.sweep("smallworld", SMALL_D, [0.3])
         sparse_sweep = sparse.sweep("smallworld", SMALL_D, [0.3])
         assert dense_sweep.results[0].routability > sparse_sweep.results[0].routability
+
+
+class TestFailureModelGrid:
+    """The (geometry x model x severity x replicate) grid keeps the fused /
+    per-cell / worker bit-identity invariant for every failure model."""
+
+    MODELS = ("uniform", "targeted", "regional", "subtree", "uniform+regional")
+    QS = (0.15, 0.45, 1.0)  # includes all-degenerate cells at severity 1.0
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_fused_matches_per_cell_across_models(self, workers):
+        geometries = ["tree", "ring", "smallworld"]
+        reference = SweepRunner(
+            pairs=60, replicates=2, workers=1, base_seed=777, fused=False
+        ).run(geometries, SMALL_D, list(self.QS), list(self.MODELS))
+        with SweepRunner(
+            pairs=60, replicates=2, workers=workers, base_seed=777, fused=True
+        ) as runner:
+            fused = runner.run(geometries, SMALL_D, list(self.QS), list(self.MODELS))
+        assert fused.keys() == reference.keys()
+        assert {cell.model for cell in fused} == set(self.MODELS)
+        for cell, expected in reference.items():
+            assert fused[cell].degenerate == expected.degenerate, cell
+            assert_metrics_equal(fused[cell].metrics, expected.metrics)
+
+    def test_models_share_overlay_groups_but_not_results(self):
+        with SweepRunner(pairs=50, replicates=1, workers=1, base_seed=31) as runner:
+            uniform = runner.sweep("xor", SMALL_D, [0.4], failure_model="uniform")
+            targeted = runner.sweep("xor", SMALL_D, [0.4], failure_model="targeted")
+        assert runner.completed_cells == 2  # one cell per model, memoized apart
+        assert uniform.failure_model == "uniform"
+        assert targeted.failure_model == "targeted"
+
+    def test_runner_sweep_matches_rerun_for_nonuniform_model(self):
+        first = SweepRunner(pairs=40, replicates=2, workers=1, base_seed=88).sweep(
+            "ring", SMALL_D, [0.2, 0.6], failure_model="regional"
+        )
+        second = SweepRunner(pairs=40, replicates=2, workers=1, base_seed=88).sweep(
+            "ring", SMALL_D, [0.2, 0.6], failure_model="regional"
+        )
+        assert first.routabilities == second.routabilities
+        assert all(r.failure_model == "regional" for r in first.results)
+
+    def test_unknown_model_kind_rejected(self):
+        runner = SweepRunner(pairs=10, replicates=1)
+        with pytest.raises(InvalidParameterError):
+            runner.run(["xor"], SMALL_D, [0.1], ["meteor"])
+        with pytest.raises(InvalidParameterError):
+            runner.run(["xor"], SMALL_D, [0.1], [])
+
+    def test_targeted_grid_runs_identically_with_worker_pool(self):
+        # Worker processes resolve the in-degree ranking from the published
+        # shared-memory table; the ranking (and hence every mask) must match
+        # the in-process build exactly.
+        serial = SweepRunner(
+            pairs=60, replicates=2, workers=1, base_seed=55, fused=True
+        ).run(["smallworld"], SMALL_D, [0.3, 0.6], ["targeted"])
+        with SweepRunner(
+            pairs=60, replicates=2, workers=4, base_seed=55, fused=True
+        ) as runner:
+            pooled = runner.run(["smallworld"], SMALL_D, [0.3, 0.6], ["targeted"])
+        for cell, expected in serial.items():
+            assert_metrics_equal(pooled[cell].metrics, expected.metrics)

@@ -6,6 +6,7 @@ import math
 
 import pytest
 
+from repro.dht.failures import FAILURE_MODEL_KINDS, RegionalFailure, make_failure_model
 from repro.exceptions import InvalidParameterError, UnknownGeometryError
 from repro.sim.static_resilience import (
     build_overlay,
@@ -103,3 +104,112 @@ class TestSweeps:
         first = simulate_geometry("xor", 6, [0.2], pairs=100, trials=1, seed=4)
         second = simulate_geometry("xor", 6, [0.2], pairs=100, trials=1, seed=4)
         assert first.routabilities == second.routabilities
+
+
+class TestFailureModelSweeps:
+    """Non-uniform failure models ride the same measurement stack with the
+    same scalar/batch bit-identity guarantees as the uniform model."""
+
+    SEVERITY = 0.3
+
+    @pytest.mark.parametrize("kind", FAILURE_MODEL_KINDS)
+    def test_batch_matches_scalar_for_every_model_and_geometry(
+        self, small_overlays, geometry_name, kind
+    ):
+        overlay = small_overlays[geometry_name]
+        model = make_failure_model(kind, self.SEVERITY)
+        batch = measure_routability(
+            overlay, self.SEVERITY, pairs=120, trials=2, seed=17,
+            failure_model=model, engine="batch",
+        )
+        scalar = measure_routability(
+            overlay, self.SEVERITY, pairs=120, trials=2, seed=17,
+            failure_model=model, engine="scalar",
+        )
+        assert batch.metrics.attempts == scalar.metrics.attempts
+        assert batch.metrics.successes == scalar.metrics.successes
+        assert batch.metrics.failure_reasons == scalar.metrics.failure_reasons
+        assert batch.degenerate_trials == scalar.degenerate_trials
+        for field in ("mean_hops_successful", "mean_hops_failed"):
+            a, b = getattr(batch.metrics, field), getattr(scalar.metrics, field)
+            assert a == b or (math.isnan(a) and math.isnan(b)), field
+
+    def test_result_records_the_model_description(self, small_overlays):
+        result = measure_routability(
+            small_overlays["ring"], 0.2, pairs=30, trials=1, seed=3,
+            failure_model=make_failure_model("regional", 0.2),
+        )
+        assert "regional" in result.failure_model
+        uniform = measure_routability(
+            small_overlays["ring"], 0.2, pairs=30, trials=1, seed=3
+        )
+        assert uniform.failure_model == "uniform"
+
+    def test_sweep_accepts_a_model_kind(self, small_overlays):
+        sweep = sweep_failure_probabilities(
+            small_overlays["xor"], [0.1, 0.4], pairs=40, trials=1, seed=5,
+            failure_models="targeted",
+        )
+        assert sweep.failure_model == "targeted"
+        assert all("in-degree" in r.failure_model for r in sweep.results)
+
+    def test_sweep_uniform_kind_is_the_default_path(self, small_overlays):
+        explicit = sweep_failure_probabilities(
+            small_overlays["xor"], [0.3], pairs=50, trials=1, seed=9,
+            failure_models="uniform",
+        )
+        default = sweep_failure_probabilities(
+            small_overlays["xor"], [0.3], pairs=50, trials=1, seed=9
+        )
+        assert explicit.routabilities == default.routabilities
+        assert explicit.failure_model == default.failure_model == "uniform"
+
+    def test_sweep_accepts_per_point_models(self, small_overlays):
+        models = [RegionalFailure(0.1), RegionalFailure(0.4)]
+        sweep = sweep_failure_probabilities(
+            small_overlays["ring"], [0.1, 0.4], pairs=40, trials=1, seed=5,
+            failure_models=models,
+        )
+        assert len(sweep.results) == 2
+
+    def test_sweep_rejects_mismatched_model_list(self, small_overlays):
+        with pytest.raises(InvalidParameterError):
+            sweep_failure_probabilities(
+                small_overlays["ring"], [0.1, 0.4], pairs=10, trials=1, seed=1,
+                failure_models=[RegionalFailure(0.1)],
+            )
+
+    def test_simulate_geometry_forwards_failure_models(self):
+        sweep = simulate_geometry(
+            "ring", 6, [0.2], pairs=60, trials=1, seed=4, failure_models="regional"
+        )
+        assert sweep.failure_model == "regional"
+
+
+class TestZeroAttemptSemantics:
+    """trials=3, degenerate=3, attempts=0 must round-trip cleanly."""
+
+    def test_all_degenerate_trials_round_trip(self, small_overlays, geometry_name):
+        # fraction 1.0 under the targeted model deterministically kills every
+        # node, so every trial of every geometry is degenerate.
+        overlay = small_overlays[geometry_name]
+        result = measure_routability(
+            overlay, 1.0, pairs=10, trials=3, seed=2,
+            failure_model=make_failure_model("targeted", 1.0),
+        )
+        assert result.trials == 3
+        assert result.degenerate_trials == 3
+        assert result.metrics.attempts == 0
+        assert not result.metrics.measured
+        assert result.metrics.routability_or_none is None
+        assert math.isnan(result.routability)
+
+    def test_as_rows_reports_none_not_nan(self, small_overlays):
+        sweep = sweep_failure_probabilities(
+            small_overlays["tree"], [0.0, 1.0], pairs=10, trials=2, seed=1
+        )
+        rows = sweep.as_rows()
+        assert rows[0]["routability"] == pytest.approx(1.0)
+        assert rows[1]["routability"] is None
+        assert rows[1]["failed_path_percent"] is None
+        assert rows[1]["attempts"] == 0
