@@ -1,0 +1,411 @@
+"""Benchmark KERNELSPEC: the unified spec driver vs the PR-3 numpy backend.
+
+The KernelSpec refactor collapsed the per-geometry numpy kernels, the fused
+stacking and the numba loop bodies into one declaration per geometry
+executed by thin backends.  This benchmark pins the cost of that
+indirection: it times the Figure 6(a)-style routing workload (tree,
+hypercube, XOR and ring at ``d = 10``; one fused stacked batch per
+``(geometry, replicate)`` overlay group, 2000 pairs per cell) through
+
+* the **PR-3 numpy backend**, vendored below verbatim (per-geometry
+  prepare/step factories, blocked vectorized hop loop, disjoint-union
+  stacking) as the pinned reference — the recorded numbers measure the
+  spec-driven driver against the exact code it replaced;
+* the current **numpy backend** (``backend="numpy"``), now a thin executor
+  of registered specs.  The acceptance floor is **within 5%** of the PR-3
+  path — the spec indirection must be near-free;
+* the **numba backend** (``backend="numba"``), when Numba is importable:
+  the same spec bodies compiled into per-pair loops.  The PR-3 acceptance
+  floor is kept: **≥2x** over the vendored numpy path.  Without Numba the
+  ratio is recorded as unavailable and only the numpy gate applies.
+
+All contenders route identical inputs, so every per-pair outcome must agree
+bit-for-bit — the timing comparison doubles as an end-to-end cross-check of
+the spec layer against the code it replaced.  Results go to
+``BENCH_kernelspec.json`` (path overridable via
+``RCM_BENCH_KERNELSPEC_JSON``) for CI to upload next to the other perf
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.dht import OVERLAY_CLASSES
+from repro.dht.failures import survival_mask
+from repro.sim.backends import NUMBA_AVAILABLE, available_backends
+from repro.sim.engine import _cell_entropy, route_pairs_stacked
+from repro.sim.kernelspec import registered_geometries
+from repro.sim.sampling import sample_survivor_pair_arrays
+from repro.workloads.generators import paper_failure_probabilities
+
+BENCH_GEOMETRIES = ("tree", "hypercube", "xor", "ring")
+BENCH_D = 10
+PAIRS = 2000
+TRIALS = 3
+SEED = 20060328
+#: Allowed slowdown of the spec-driven numpy backend vs the PR-3 backend (5%).
+NUMPY_TOLERANCE = float(os.environ.get("RCM_BENCH_KERNELSPEC_NUMPY_TOLERANCE", "0.05"))
+#: Required speedup of the JIT backend over the PR-3 numpy backend (kept from PR 3).
+JIT_SPEEDUP_FLOOR = float(os.environ.get("RCM_BENCH_KERNELSPEC_SPEEDUP_FLOOR", "2"))
+
+_SUCCESS = 0
+_DEAD_END = 1
+_REQUIRED_FAILED = 2
+_HOP_LIMIT = 3
+
+
+# --------------------------------------------------------------------- #
+# PR-3 numpy backend, vendored verbatim as the pinned reference
+# --------------------------------------------------------------------- #
+def _pr3_distance_sentinel(alive, dtype):
+    sentinel = 1 << int(alive.size - 1).bit_length()
+    assert sentinel <= np.iinfo(dtype).max // 2
+    return sentinel
+
+
+def _pr3_tree_kernel(overlay, alive):
+    tables = overlay.neighbor_array()
+    d = overlay.d
+
+    def step(cur, dst):
+        diff = cur ^ dst
+        bit_length = np.frexp(diff.astype(np.float64))[1]
+        nxt = tables[cur, d - bit_length]
+        return nxt, alive[nxt], _REQUIRED_FAILED
+
+    return step
+
+
+def _pr3_hypercube_kernel(overlay, alive):
+    d = overlay.d
+    n = alive.size
+    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
+    identifiers = np.arange(n, dtype=dtype)
+    alive_bits = np.zeros(n, dtype=dtype)
+    for j in range(d):
+        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
+    one = dtype(1)
+
+    def step(cur, dst):
+        usable = alive_bits[cur] & (cur ^ dst)
+        decreasing = usable & cur
+        high = np.frexp(decreasing.astype(np.float64))[1]
+        clear_highest = np.left_shift(one, np.maximum(high, 1).astype(dtype) - one)
+        increasing = usable & ~cur
+        set_lowest = increasing & -increasing
+        bit = np.where(decreasing != 0, clear_highest, set_lowest)
+        return cur ^ bit, usable != 0, _DEAD_END
+
+    return step
+
+
+def _pr3_xor_kernel(overlay, alive):
+    tables = overlay.neighbor_array()
+    sentinel = _pr3_distance_sentinel(alive, tables.dtype)
+    masked_tables = np.where(alive[tables], tables, tables.dtype.type(sentinel))
+
+    def step(cur, dst):
+        neighbors = masked_tables[cur]
+        distances = neighbors ^ dst[:, None]
+        best = distances.argmin(axis=1)
+        rows = np.arange(cur.size)
+        ok = distances[rows, best] < (cur ^ dst)
+        return neighbors[rows, best], ok, _DEAD_END
+
+    return step
+
+
+def _pr3_ring_kernel(overlay, alive):
+    tables = overlay.neighbor_array()
+    n = int(getattr(overlay, "ring_modulus", overlay.n_nodes))
+    far = np.iinfo(tables.dtype).max
+    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
+    masked_tables = np.where(alive[tables], tables, self_column)
+
+    def step(cur, dst):
+        neighbors = masked_tables[cur]
+        progress = (neighbors - cur[:, None]) % n
+        remaining = ((dst - cur) % n)[:, None]
+        usable = (progress != 0) & (progress <= remaining)
+        after = np.where(usable, remaining - progress, far)
+        best = after.argmin(axis=1)
+        rows = np.arange(cur.size)
+        return neighbors[rows, best], usable[rows, best], _DEAD_END
+
+    return step
+
+
+_PR3_KERNELS = {
+    "tree": _pr3_tree_kernel,
+    "hypercube": _pr3_hypercube_kernel,
+    "xor": _pr3_xor_kernel,
+    "ring": _pr3_ring_kernel,
+}
+
+_PR3_KERNEL_BLOCK = 2048
+
+
+def _pr3_step_blocked(step, cur, dst):
+    size = cur.size
+    if size <= _PR3_KERNEL_BLOCK:
+        return step(cur, dst)
+    next_hop = np.empty(size, dtype=cur.dtype)
+    ok = np.empty(size, dtype=bool)
+    fail_code = _SUCCESS
+    for start in range(0, size, _PR3_KERNEL_BLOCK):
+        stop = start + _PR3_KERNEL_BLOCK
+        block_next, block_ok, fail_code = step(cur[start:stop], dst[start:stop])
+        next_hop[start:stop] = block_next
+        ok[start:stop] = block_ok
+    return next_hop, ok, fail_code
+
+
+def _pr3_route_batch(overlay, step, sources, destinations):
+    n_pairs = sources.size
+    hop_limit = overlay.hop_limit()
+    current = sources.copy()
+    hops = np.zeros(n_pairs, dtype=np.int64)
+    succeeded = np.zeros(n_pairs, dtype=bool)
+    codes = np.full(n_pairs, _SUCCESS, dtype=np.int8)
+    active = np.arange(n_pairs, dtype=np.int64)
+    iteration = 0
+    while active.size:
+        if iteration >= hop_limit:
+            codes[active] = _HOP_LIMIT
+            hops[active] = iteration
+            break
+        next_hop, ok, fail_code = _pr3_step_blocked(step, current[active], destinations[active])
+        if not ok.all():
+            dropped = active[~ok]
+            codes[dropped] = fail_code
+            hops[dropped] = iteration
+            next_hop = next_hop[ok]
+            active = active[ok]
+        current[active] = next_hop
+        arrived = next_hop == destinations[active]
+        if arrived.any():
+            delivered = active[arrived]
+            succeeded[delivered] = True
+            hops[delivered] = iteration + 1
+            active = active[~arrived]
+        iteration += 1
+    return succeeded, hops, codes
+
+
+class _Pr3UnionView:
+    def __init__(self, overlay, n_cells: int) -> None:
+        self.geometry_name = overlay.geometry_name
+        self.d = overlay.d
+        self.ring_modulus = overlay.n_nodes
+        self.n_nodes = n_cells * overlay.n_nodes
+        self._hop_limit = overlay.hop_limit()
+        table = overlay.neighbor_array()
+        dtype = np.int32 if self.n_nodes <= np.iinfo(np.int32).max else np.int64
+        offsets = np.arange(n_cells, dtype=dtype) * dtype(overlay.n_nodes)
+        self._table = (table.astype(dtype)[None, :, :] + offsets[:, None, None]).reshape(
+            self.n_nodes, table.shape[1]
+        )
+
+    def neighbor_array(self):
+        return self._table
+
+    def hop_limit(self) -> int:
+        return self._hop_limit
+
+
+def _pr3_check_stacked_arguments(overlay, sources, destinations, alive_stack, cell_indices):
+    # The PR-3 entry point validated every stacked batch; the pinned
+    # reference pays the same cost so the within-5% gate compares like with
+    # like.
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    assert sources.ndim == 1 and sources.shape == destinations.shape
+    n = overlay.n_nodes
+    for endpoints in (sources, destinations):
+        assert endpoints.size and endpoints.min() >= 0 and endpoints.max() < n
+    assert not np.any(sources == destinations)
+    alive_stack = np.asarray(alive_stack)
+    if alive_stack.dtype != np.bool_:
+        alive_stack = alive_stack.astype(bool)
+    assert alive_stack.ndim == 2 and alive_stack.shape[1] == n
+    cell_indices = np.asarray(cell_indices, dtype=np.int64)
+    assert cell_indices.shape == sources.shape
+    assert cell_indices.min() >= 0 and cell_indices.max() < alive_stack.shape[0]
+    assert alive_stack[cell_indices, sources].all()
+    assert alive_stack[cell_indices, destinations].all()
+    return sources, destinations, alive_stack, cell_indices
+
+
+def _pr3_route_stacked(overlay, sources, destinations, alive_stack, cell_indices):
+    sources, destinations, alive_stack, cell_indices = _pr3_check_stacked_arguments(
+        overlay, sources, destinations, alive_stack, cell_indices
+    )
+    union = _Pr3UnionView(overlay, alive_stack.shape[0])
+    dtype = union.neighbor_array().dtype
+    offsets = cell_indices * overlay.n_nodes
+    step = _PR3_KERNELS[overlay.geometry_name](union, alive_stack.reshape(-1))
+    return _pr3_route_batch(
+        union,
+        step,
+        (sources + offsets).astype(dtype, copy=False),
+        (destinations + offsets).astype(dtype, copy=False),
+    )
+
+
+# --------------------------------------------------------------------- #
+# workload preparation (identical inputs for every contender)
+# --------------------------------------------------------------------- #
+def _build_groups(failure_probabilities) -> Tuple:
+    """One fused stacked batch per (geometry, replicate) overlay group."""
+    groups = []
+    for geometry in BENCH_GEOMETRIES:
+        for replicate in range(TRIALS):
+            build_rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    _cell_entropy(SEED, "overlay", (geometry, BENCH_D, replicate))
+                )
+            )
+            overlay = OVERLAY_CLASSES[geometry].build(BENCH_D, rng=build_rng)
+            overlay.neighbor_array()  # materialise outside the timed regions
+            masks, sources, destinations = [], [], []
+            for q in failure_probabilities:
+                rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        _cell_entropy(SEED, "routing", (geometry, BENCH_D, replicate, q))
+                    )
+                )
+                alive = survival_mask(overlay.n_nodes, q, rng)
+                if int(alive.sum()) < 2:
+                    continue
+                src, dst = sample_survivor_pair_arrays(alive, PAIRS, rng)
+                masks.append(alive)
+                sources.append(src)
+                destinations.append(dst)
+            groups.append(
+                (
+                    overlay,
+                    np.concatenate(sources),
+                    np.concatenate(destinations),
+                    np.stack(masks),
+                    np.repeat(np.arange(len(masks), dtype=np.int64), PAIRS),
+                )
+            )
+    return tuple(groups)
+
+
+def _run_pr3(groups):
+    return [
+        _pr3_route_stacked(overlay, src, dst, stack, cells)
+        for overlay, src, dst, stack, cells in groups
+    ]
+
+
+def _run_backend(groups, backend_name):
+    outcomes = []
+    for overlay, src, dst, stack, cells in groups:
+        outcome = route_pairs_stacked(overlay, src, dst, stack, cells, backend=backend_name)
+        outcomes.append((outcome.succeeded, outcome.hops, outcome.failure_codes))
+    return outcomes
+
+
+def _timed(runner):
+    started = time.perf_counter()
+    result = runner()
+    return result, time.perf_counter() - started
+
+
+#: Interleaved timing rounds per contender.  The 5% gate compares two
+#: near-identical code paths, so contenders are timed alternately (a load
+#: spike hits all of them, not whichever ran second) and the floor takes the
+#: per-contender minimum across rounds.
+TIMING_ROUNDS = int(os.environ.get("RCM_BENCH_KERNELSPEC_ROUNDS", "7"))
+
+
+def test_kernelspec_driver_speed_and_parity(benchmark):
+    failure_probabilities = paper_failure_probabilities(fast=True)
+    groups = _build_groups(failure_probabilities)
+
+    # Warm-ups: page in every contender's tables (and pay JIT compilation)
+    # outside the timed rounds.
+    pr3_outcomes = _run_pr3(groups)
+    numpy_outcomes = _run_backend(groups, "numpy")
+    numba_outcomes = None
+    if NUMBA_AVAILABLE:
+        numba_outcomes = _run_backend(groups, "numba")
+
+    pr3_seconds = numpy_seconds = numba_seconds = math.inf
+    for _ in range(TIMING_ROUNDS):
+        _, elapsed = _timed(lambda: _run_pr3(groups))
+        pr3_seconds = min(pr3_seconds, elapsed)
+        _, elapsed = _timed(lambda: _run_backend(groups, "numpy"))
+        numpy_seconds = min(numpy_seconds, elapsed)
+        if NUMBA_AVAILABLE:
+            _, elapsed = _timed(lambda: _run_backend(groups, "numba"))
+            numba_seconds = min(numba_seconds, elapsed)
+    if not NUMBA_AVAILABLE:
+        numba_seconds = None
+
+    # One extra repetition of the headline contender feeds the
+    # pytest-benchmark stats row.
+    headline = "numba" if NUMBA_AVAILABLE else "numpy"
+    benchmark.pedantic(lambda: _run_backend(groups, headline), rounds=1, iterations=1)
+
+    # Identical inputs: every contender must agree bit-for-bit on every pair.
+    contenders = {"numpy": numpy_outcomes}
+    if numba_outcomes is not None:
+        contenders["numba"] = numba_outcomes
+    for label, outcomes in contenders.items():
+        assert len(outcomes) == len(pr3_outcomes)
+        for index, (succeeded, hops, codes) in enumerate(outcomes):
+            ref_succeeded, ref_hops, ref_codes = pr3_outcomes[index]
+            assert np.array_equal(succeeded, ref_succeeded), (label, index)
+            assert np.array_equal(hops, ref_hops), (label, index)
+            assert np.array_equal(codes, ref_codes), (label, index)
+
+    report = {
+        "benchmark": "kernelspec-unified-driver",
+        "d": BENCH_D,
+        "pairs": PAIRS,
+        "trials": TRIALS,
+        "groups": len(groups),
+        "geometries": list(BENCH_GEOMETRIES),
+        "registered_geometries": list(registered_geometries()),
+        "failure_probabilities": list(failure_probabilities),
+        "python": platform.python_version(),
+        "available_backends": list(available_backends()),
+        "numba_available": NUMBA_AVAILABLE,
+        "pr3_numpy_seconds": pr3_seconds,
+        "numpy_backend_seconds": numpy_seconds,
+        "numba_backend_seconds": numba_seconds,
+        "numpy_vs_pr3_ratio": numpy_seconds / pr3_seconds,
+        "numpy_regression_tolerance": NUMPY_TOLERANCE,
+        "speedup_numba_vs_pr3": (pr3_seconds / numba_seconds) if numba_seconds else None,
+        "jit_speedup_floor": JIT_SPEEDUP_FLOOR,
+        "backend_name": headline,
+    }
+    output_path = os.environ.get("RCM_BENCH_KERNELSPEC_JSON", "BENCH_kernelspec.json")
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    assert numpy_seconds <= pr3_seconds * (1.0 + NUMPY_TOLERANCE), (
+        f"the spec-driven numpy backend took {numpy_seconds:.3f}s vs the PR-3 backend's "
+        f"{pr3_seconds:.3f}s — more than the {100 * NUMPY_TOLERANCE:.0f}% regression allowance"
+    )
+    if NUMBA_AVAILABLE:
+        speedup = pr3_seconds / numba_seconds
+        assert speedup >= JIT_SPEEDUP_FLOOR, (
+            f"JIT backend speedup {speedup:.1f}x over the PR-3 numpy backend is below "
+            f"the {JIT_SPEEDUP_FLOOR:.0f}x floor (PR-3 {pr3_seconds:.2f}s vs "
+            f"numba {numba_seconds:.2f}s)"
+        )

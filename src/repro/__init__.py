@@ -8,8 +8,11 @@ The package has two halves that validate each other:
   verdicts for the tree (Plaxton), hypercube (CAN), XOR (Kademlia), ring
   (Chord) and small-world (Symphony) routing geometries.
 * :mod:`repro.dht` + :mod:`repro.sim` — from-scratch overlay **simulators**
-  for the same five systems and a Monte-Carlo static-resilience driver, the
-  stand-in for the simulation study the paper compares against.
+  for the same five systems (plus the de Bruijn/Koorde extension) and a
+  Monte-Carlo static-resilience driver, the stand-in for the simulation
+  study the paper compares against.  Each geometry declares its batch
+  routing rule once (:mod:`repro.sim.kernelspec`); the kernel backends are
+  thin executors of those specs.
 
 Supporting subpackages: :mod:`repro.markov` (absorbing-chain engine and the
 paper's routing chains), :mod:`repro.percolation` (connected vs reachable
@@ -29,6 +32,7 @@ True
 
 from .core import (
     PAPER_GEOMETRIES,
+    DeBruijnGeometry,
     GeometryCurve,
     HypercubeGeometry,
     RCMAnalysis,
@@ -56,6 +60,7 @@ from .core import (
 )
 from .dht import (
     ChordOverlay,
+    DeBruijnOverlay,
     HypercubeOverlay,
     IdentifierSpace,
     KademliaOverlay,
@@ -102,6 +107,7 @@ __all__ = [
     "XorGeometry",
     "RingGeometry",
     "SmallWorldGeometry",
+    "DeBruijnGeometry",
     "analyze",
     "assess_scalability",
     "compare_geometries",
@@ -124,6 +130,7 @@ __all__ = [
     "KademliaOverlay",
     "ChordOverlay",
     "SymphonyOverlay",
+    "DeBruijnOverlay",
     "RouteResult",
     "RoutingMetrics",
     "UniformNodeFailure",

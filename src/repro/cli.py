@@ -40,10 +40,11 @@ from typing import Optional, Sequence
 from .core.geometry import list_geometries
 from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
+from .dht import OVERLAY_CLASSES
 from .dht.failures import FAILURE_MODEL_KINDS
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
-from .sim.backends import BACKEND_CHOICES
+from .sim.backends import BACKEND_CHOICES, available_backends
 from .sim.engine import PROFILE_PHASES, SweepRunner
 from .sim.static_resilience import simulate_geometry
 from .workloads.generators import PairWorkload
@@ -95,7 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser = subparsers.add_parser(
         "simulate", help="run the Monte-Carlo overlay simulator for one geometry"
     )
-    simulate_parser.add_argument("--geometry", required=True, choices=sorted(list_geometries()))
+    # Simulation geometries come from the live overlay registry (every
+    # self-registering overlay module, including extensions such as the de
+    # Bruijn/Koorde geometry), not the analytical registry.
+    simulate_parser.add_argument("--geometry", required=True, choices=sorted(OVERLAY_CLASSES))
     simulate_parser.add_argument("--d", type=int, default=10, help="identifier length (N = 2^d)")
     simulate_parser.add_argument("--q", type=float, nargs="+", required=True, help="failure probabilities")
     simulate_parser.add_argument("--pairs", type=int, default=1000)
@@ -142,9 +146,10 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         choices=BACKEND_CHOICES,
         default="auto",
         help=(
-            "kernel backend for the batch engine: auto picks the fastest available "
-            "(numba when the 'fast' extra is installed, numpy otherwise); results are "
-            "bit-identical for every backend"
+            "kernel backend for the batch engine: auto picks the fastest available; "
+            f"available in this environment: {', '.join(available_backends())} "
+            "(choices come from the live backend registry; results are bit-identical "
+            "for every backend)"
         ),
     )
     parser.add_argument(

@@ -23,6 +23,7 @@ from .geometry import (
 )
 from .geometries import (
     PAPER_GEOMETRIES,
+    DeBruijnGeometry,
     HypercubeGeometry,
     RingGeometry,
     SmallWorldGeometry,
@@ -72,6 +73,7 @@ __all__ = [
     "XorGeometry",
     "RingGeometry",
     "SmallWorldGeometry",
+    "DeBruijnGeometry",
     "RCMAnalysis",
     "ReachableComponentMethod",
     "analyze",

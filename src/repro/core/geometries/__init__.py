@@ -1,10 +1,16 @@
-"""The five routing geometries analysed by the paper.
+"""The five routing geometries analysed by the paper, plus framework extensions.
 
 Importing this package registers every geometry in
 :data:`repro.core.geometry.REGISTRY`; use
 :func:`repro.core.geometry.get_geometry` to instantiate them by name
-("tree", "hypercube", "xor", "ring", "smallworld") or by system alias
-("plaxton", "can", "kademlia", "chord", "symphony").
+("tree", "hypercube", "xor", "ring", "smallworld", "debruijn") or by system
+alias ("plaxton", "can", "kademlia", "chord", "symphony", "koorde").
+
+:data:`PAPER_GEOMETRIES` keeps the paper's original five — the figure and
+table experiments iterate it, so their outputs stay comparable to the paper
+— while extension geometries (de Bruijn/Koorde) appear in the registry and
+hence in ``rcm routability``/``compare``/``scalability`` and the simulation
+stack.
 """
 
 from .tree import TreeGeometry
@@ -12,6 +18,7 @@ from .hypercube import HypercubeGeometry
 from .xor import XorGeometry
 from .ring import RingGeometry
 from .smallworld import SmallWorldGeometry
+from .debruijn import DeBruijnGeometry
 
 #: The geometries of the paper in the order its tables/figures list them.
 PAPER_GEOMETRIES = ("tree", "hypercube", "xor", "ring", "smallworld")
@@ -22,5 +29,6 @@ __all__ = [
     "XorGeometry",
     "RingGeometry",
     "SmallWorldGeometry",
+    "DeBruijnGeometry",
     "PAPER_GEOMETRIES",
 ]

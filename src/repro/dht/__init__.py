@@ -2,8 +2,12 @@
 
 This subpackage rebuilds, from scratch, discrete overlay simulators for the
 five DHT routing systems analysed by the paper (Plaxton tree, CAN hypercube,
-Kademlia, Chord and Symphony), together with the identifier-space math,
-failure models and routing bookkeeping they share.  The Monte-Carlo driver
+Kademlia, Chord and Symphony) plus the de Bruijn shuffle-exchange extension
+(Koorde), together with the identifier-space math, failure models and
+routing bookkeeping they share.  Each overlay module is self-registering —
+it adds its class to :data:`OVERLAY_CLASSES` and declares its batch routing
+rule once as a :class:`repro.sim.kernelspec.KernelSpec` next to the scalar
+oracle — so shipping a new geometry is one file.  The Monte-Carlo driver
 that turns these overlays into measured routability curves lives in
 :mod:`repro.sim`.
 """
@@ -34,23 +38,19 @@ from .failures import (
     survival_mask,
     surviving_identifiers,
 )
-from .network import Overlay, make_rng
+from .network import OVERLAY_CLASSES, Overlay, make_rng, register_overlay
 from .routing import FailureReason, RouteResult, RouteTrace
 from .metrics import RoutingMetrics, summarize_routes, wilson_interval
+
+# Importing an overlay module registers its class in OVERLAY_CLASSES and its
+# kernel spec in repro.sim.kernelspec — one self-registering file per
+# geometry.
 from .plaxton import PlaxtonOverlay
 from .can import HypercubeOverlay
 from .kademlia import KademliaOverlay
 from .chord import ChordOverlay
 from .symphony import SymphonyOverlay
-
-#: Overlay classes keyed by the paper's geometry label.
-OVERLAY_CLASSES = {
-    PlaxtonOverlay.geometry_name: PlaxtonOverlay,
-    HypercubeOverlay.geometry_name: HypercubeOverlay,
-    KademliaOverlay.geometry_name: KademliaOverlay,
-    ChordOverlay.geometry_name: ChordOverlay,
-    SymphonyOverlay.geometry_name: SymphonyOverlay,
-}
+from .debruijn import DeBruijnOverlay
 
 __all__ = [
     "IdentifierSpace",
@@ -76,6 +76,7 @@ __all__ = [
     "survival_mask",
     "surviving_identifiers",
     "Overlay",
+    "register_overlay",
     "make_rng",
     "FailureReason",
     "RouteResult",
@@ -88,5 +89,6 @@ __all__ = [
     "KademliaOverlay",
     "ChordOverlay",
     "SymphonyOverlay",
+    "DeBruijnOverlay",
     "OVERLAY_CLASSES",
 ]

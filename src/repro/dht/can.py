@@ -15,14 +15,16 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace
-from .network import Overlay, make_rng
-from .routing import FailureReason, RouteResult, RouteTrace
+from .network import Overlay, make_rng, register_overlay
+from .routing import FAILURE_CODES, FailureReason, RouteResult, RouteTrace
 
 __all__ = ["HypercubeOverlay"]
 
 
+@register_overlay
 class HypercubeOverlay(Overlay):
     """Static hypercube (CAN-like) overlay over a fully populated ``d``-bit space.
 
@@ -112,3 +114,62 @@ class HypercubeOverlay(Overlay):
                 next_hop = int(candidates[int(rng.integers(0, len(candidates)))])
             trace.advance(next_hop)
         return trace.success()
+
+
+# --------------------------------------------------------------------- #
+# kernel spec — the one batch declaration of the hypercube routing rule
+# --------------------------------------------------------------------- #
+def _hypercube_prepare(view, alive: np.ndarray) -> SpecState:
+    """Pack each node's alive neighbours into a bitset (bit ``j`` iff ``alive[x ^ 2^j]``).
+
+    The hypercube wiring is deterministic, so no table is needed at all:
+    the per-hop step is pure flat bit arithmetic over the bitset.  On a
+    disjoint-union view the XOR with ``2^j`` (``j < d``) stays inside the
+    cell, so the same packing covers the fused path unchanged.
+    """
+    d = view.d
+    n = alive.size
+    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
+    identifiers = np.arange(n, dtype=dtype)
+    alive_bits = np.zeros(n, dtype=dtype)
+    for j in range(d):
+        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
+    alive_bits.setflags(write=False)
+    return SpecState(table=None, consts=(d,), arrays=(alive_bits,))
+
+
+def _hypercube_advance(ops):
+    """Greedy bit correction: the scalar min-identifier rule as bit arithmetic.
+
+    Among the differing bits whose neighbour is alive, clear the highest set
+    bit of ``cur`` (the largest decrease) or, when none is set, set the
+    lowest clear bit (the smallest increase) — exactly the scalar
+    min-identifier choice.
+    """
+
+    highest_set_bit = ops.highest_set_bit
+    where = ops.where
+
+    def advance(consts, arrays, alive, cur, dst):
+        alive_bits = arrays[0]
+        usable = alive_bits[cur] & (cur ^ dst)
+        decreasing = usable & cur
+        clear_highest = highest_set_bit(decreasing)  # undefined at 0; masked below
+        increasing = usable & ~cur
+        set_lowest = increasing & -increasing
+        bit = where(decreasing != 0, clear_highest, set_lowest)
+        # usable == 0 leaves bit == 0, i.e. next == cur, discarded via ok.
+        return cur ^ bit, usable != 0
+
+    return advance
+
+
+register_kernel_spec(
+    KernelSpec(
+        geometry=HypercubeOverlay.geometry_name,
+        kind="direct",
+        fail_code=FAILURE_CODES[FailureReason.DEAD_END],
+        prepare=_hypercube_prepare,
+        advance=_hypercube_advance,
+    )
+)

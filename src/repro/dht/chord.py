@@ -22,16 +22,18 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
+from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec, ring_modulus
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, ring_distance
-from .network import Overlay, make_rng
-from .routing import FailureReason, RouteResult, RouteTrace
+from .network import Overlay, make_rng, register_overlay
+from .routing import FAILURE_CODES, FailureReason, RouteResult, RouteTrace
 
-__all__ = ["ChordOverlay", "FINGER_MODES"]
+__all__ = ["ChordOverlay", "FINGER_MODES", "make_ring_spec"]
 
 FINGER_MODES = ("randomized", "deterministic")
 
 
+@register_overlay
 class ChordOverlay(Overlay):
     """Static Chord (ring) overlay over a fully populated ``d``-bit space."""
 
@@ -124,3 +126,70 @@ class ChordOverlay(Overlay):
                 return trace.failure(FailureReason.DEAD_END)
             trace.advance(best_neighbor)
         return trace.success()
+
+
+# --------------------------------------------------------------------- #
+# kernel spec — the one batch declaration of greedy clockwise routing,
+# shared by every ring-flavoured geometry (Chord here, Symphony in
+# symphony.py) via :func:`make_ring_spec`.
+# --------------------------------------------------------------------- #
+def _ring_prepare(view, alive: np.ndarray) -> SpecState:
+    """Rewrite dead table entries to the node itself (clockwise progress zero).
+
+    Zero progress is the one value the scalar rule already excludes, so the
+    per-hop scan needs no aliveness gather at all.
+    """
+    tables = view.neighbor_array()
+    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
+    masked = np.where(alive[tables], tables, self_column)
+    masked.setflags(write=False)
+    return SpecState(table=masked, consts=(ring_modulus(view),), arrays=())
+
+
+def _ring_key(ops):
+    """Remaining clockwise distance after the hop; unusable candidates map to
+    the modulus, which every real key (``<= modulus - 2``) undercuts.
+
+    Same-cell differences stay inside ``(-modulus, modulus)`` on a
+    disjoint-union view, so the physical modulus recovers the clockwise
+    distances.  Ties in the remaining distance imply the same neighbour
+    identifier, so the drivers' first-minimum rule reproduces the scalar
+    first-strict-improvement scan.
+    """
+
+    where = ops.where
+
+    def key(consts, neighbor, cur, dst):
+        modulus = consts[0]
+        # Real neighbours have progress >= 1 (overlays never list a node as
+        # its own neighbour); dead ones were rewritten to progress == 0.
+        progress = (neighbor - cur) % modulus
+        remaining = (dst - cur) % modulus
+        usable = (progress != 0) & (progress <= remaining)
+        return where(usable, remaining - progress, modulus)
+
+    return key
+
+
+def _ring_accept(ops):
+    """Some usable neighbour existed iff the winning key beat the modulus."""
+
+    def accept(consts, best_key, cur, dst):
+        return best_key < consts[0]
+
+    return accept
+
+
+def make_ring_spec(geometry: str) -> KernelSpec:
+    """The greedy-clockwise :class:`KernelSpec` under ``geometry``'s label."""
+    return KernelSpec(
+        geometry=geometry,
+        kind="scan",
+        fail_code=FAILURE_CODES[FailureReason.DEAD_END],
+        prepare=_ring_prepare,
+        key=_ring_key,
+        accept=_ring_accept,
+    )
+
+
+register_kernel_spec(make_ring_spec(ChordOverlay.geometry_name))

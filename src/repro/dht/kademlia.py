@@ -21,14 +21,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
+from ..sim.kernelspec import KernelSpec, SpecState, distance_sentinel, register_kernel_spec
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, xor_distance
-from .network import Overlay, make_rng
-from .routing import FailureReason, RouteResult, RouteTrace
+from .network import Overlay, make_rng, register_overlay
+from .routing import FAILURE_CODES, FailureReason, RouteResult, RouteTrace
 
 __all__ = ["KademliaOverlay"]
 
 
+@register_overlay
 class KademliaOverlay(Overlay):
     """Static Kademlia (XOR) overlay over a fully populated ``d``-bit space."""
 
@@ -112,3 +114,51 @@ class KademliaOverlay(Overlay):
                 return trace.failure(FailureReason.DEAD_END)
             trace.advance(best_neighbor)
         return trace.success()
+
+
+# --------------------------------------------------------------------- #
+# kernel spec — the one batch declaration of the XOR routing rule
+# --------------------------------------------------------------------- #
+def _xor_prepare(view, alive: np.ndarray) -> SpecState:
+    """Rewrite dead table entries to a sentinel beyond the identifier space.
+
+    A dead neighbour's XOR distance (``>= alive.size``) can never win the
+    scan against an alive one (``< 2^d``), so the per-hop step needs
+    neither an aliveness gather nor a masking pass.
+    """
+    tables = view.neighbor_array()
+    sentinel = distance_sentinel(alive.size, tables.dtype)
+    masked = np.where(alive[tables], tables, tables.dtype.type(sentinel))
+    masked.setflags(write=False)
+    return SpecState(table=masked, consts=(sentinel,), arrays=())
+
+
+def _xor_key(ops):
+    """XOR distance to the destination; distinct across distinct neighbours,
+    so equal keys imply the same (duplicated) table entry."""
+
+    def key(consts, neighbor, cur, dst):
+        return neighbor ^ dst
+
+    return key
+
+
+def _xor_accept(ops):
+    """The winner must strictly reduce the XOR distance (the scalar dead-end rule)."""
+
+    def accept(consts, best_key, cur, dst):
+        return best_key < (cur ^ dst)
+
+    return accept
+
+
+register_kernel_spec(
+    KernelSpec(
+        geometry=KademliaOverlay.geometry_name,
+        kind="scan",
+        fail_code=FAILURE_CODES[FailureReason.DEAD_END],
+        prepare=_xor_prepare,
+        key=_xor_key,
+        accept=_xor_accept,
+    )
+)

@@ -15,7 +15,7 @@ resilience model.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Type
 
 import networkx as nx
 import numpy as np
@@ -24,7 +24,24 @@ from ..exceptions import RoutingError, TopologyError
 from .identifiers import IdentifierSpace
 from .routing import RouteResult
 
-__all__ = ["Overlay", "make_rng"]
+__all__ = ["Overlay", "OVERLAY_CLASSES", "register_overlay", "make_rng"]
+
+#: Overlay classes keyed by the paper's geometry label.  A *live* registry:
+#: each overlay module registers its class at import time (next to the
+#: scalar oracle and its kernel spec), so shipping a new geometry is one
+#: self-registering file — the simulation stack, sweeps and CLI all read
+#: this dict.
+OVERLAY_CLASSES: Dict[str, Type["Overlay"]] = {}
+
+
+def register_overlay(cls: Type["Overlay"]) -> Type["Overlay"]:
+    """Class decorator adding an overlay simulator to :data:`OVERLAY_CLASSES`."""
+    if not cls.geometry_name:
+        raise TopologyError(f"{cls.__name__} does not define a geometry_name")
+    if cls.geometry_name in OVERLAY_CLASSES:
+        raise TopologyError(f"overlay geometry {cls.geometry_name!r} is already registered")
+    OVERLAY_CLASSES[cls.geometry_name] = cls
+    return cls
 
 
 def make_rng(rng: Optional[np.random.Generator] = None, seed: Optional[int] = None) -> np.random.Generator:

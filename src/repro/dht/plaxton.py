@@ -31,16 +31,18 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
+from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, highest_differing_bit
-from .network import Overlay, make_rng
-from .routing import FailureReason, RouteResult, RouteTrace
+from .network import Overlay, make_rng, register_overlay
+from .routing import FAILURE_CODES, FailureReason, RouteResult, RouteTrace
 
 __all__ = ["PlaxtonOverlay", "TABLE_MODES"]
 
 TABLE_MODES = ("matched-suffix", "random-suffix")
 
 
+@register_overlay
 class PlaxtonOverlay(Overlay):
     """Static Plaxton-tree overlay over a fully populated ``d``-bit space."""
 
@@ -134,3 +136,41 @@ class PlaxtonOverlay(Overlay):
                 return trace.failure(FailureReason.REQUIRED_NEIGHBOR_FAILED)
             trace.advance(next_hop)
         return trace.success()
+
+
+# --------------------------------------------------------------------- #
+# kernel spec — the one batch declaration of the tree routing rule
+# --------------------------------------------------------------------- #
+def _tree_prepare(view, alive: np.ndarray) -> SpecState:
+    """Tree routing needs only the bit-indexed tables and the identifier length."""
+    return SpecState(table=None, consts=(view.d,), arrays=(view.neighbor_array(),))
+
+
+def _tree_advance(ops):
+    """Forward to the single neighbour correcting the leftmost differing bit."""
+    # Primitives become plain closure variables: both executors resolve them
+    # at factory time (Numba compiles closed-over dispatchers directly).
+    bit_length = ops.bit_length
+    alive_at = ops.alive
+
+    def advance(consts, arrays, alive, cur, dst):
+        d = consts[0]
+        tables = arrays[0]
+        # Column of the highest-order differing bit: position - 1 =
+        # d - bit_length(cur ^ dst); bit_length >= 1 while routing.
+        position = bit_length(cur ^ dst)
+        next_hop = tables[cur, d - position]
+        return next_hop, alive_at(alive, next_hop)
+
+    return advance
+
+
+register_kernel_spec(
+    KernelSpec(
+        geometry=PlaxtonOverlay.geometry_name,
+        kind="direct",
+        fail_code=FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED],
+        prepare=_tree_prepare,
+        advance=_tree_advance,
+    )
+)

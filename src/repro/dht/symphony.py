@@ -23,9 +23,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
+from ..sim.kernelspec import register_kernel_spec
 from ..validation import check_identifier_length, check_positive_int
+from .chord import make_ring_spec
 from .identifiers import IdentifierSpace, ring_distance
-from .network import Overlay, make_rng
+from .network import Overlay, make_rng, register_overlay
 from .routing import FailureReason, RouteResult, RouteTrace
 
 __all__ = ["SymphonyOverlay", "harmonic_distances"]
@@ -50,6 +52,7 @@ def harmonic_distances(
     return np.clip(distances, 1, ring_size - 1)
 
 
+@register_overlay
 class SymphonyOverlay(Overlay):
     """Static Symphony (small-world ring) overlay over a fully populated ``d``-bit space."""
 
@@ -166,3 +169,9 @@ class SymphonyOverlay(Overlay):
                 return trace.failure(FailureReason.DEAD_END)
             trace.advance(best_neighbor)
         return trace.success()
+
+
+# Symphony routes exactly like Chord — greedy clockwise without
+# overshooting, just over a constant number of links — so its kernel spec
+# is the shared ring declaration under the smallworld label.
+register_kernel_spec(make_ring_spec(SymphonyOverlay.geometry_name))

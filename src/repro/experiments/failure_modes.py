@@ -3,7 +3,8 @@
 The paper (like the Gummadi et al. simulation study its Figure 6 compares
 against) measures static resilience only under *uniform* random node
 failure.  This extension experiment re-runs the same Monte-Carlo
-measurement for all five geometries under the scenario library of
+measurement for all six simulated geometries — the paper's five plus the
+de Bruijn (Koorde) extension — under the scenario library of
 :mod:`repro.dht.failures`:
 
 * **uniform** — the paper's model, as the baseline;
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..dht import OVERLAY_CLASSES
 from ..sim.engine import SweepRunner
 from ..sim.static_resilience import ResilienceSweepResult, simulate_geometry
 from ..workloads.generators import paper_failure_probabilities
@@ -33,8 +35,11 @@ from .base import Experiment, ExperimentConfig, ExperimentResult
 
 __all__ = ["FailureModeComparison"]
 
-#: All five paper geometries, compared under every failure model.
-FAILMODE_GEOMETRIES = ("tree", "hypercube", "xor", "ring", "smallworld")
+#: Every registered simulated geometry (the paper's five plus extensions
+#: such as de Bruijn/Koorde), compared under every failure model.  Read from
+#: the live overlay registry so a newly shipped geometry joins the
+#: comparison with no edit here.
+FAILMODE_GEOMETRIES = tuple(OVERLAY_CLASSES)
 #: The failure models contrasted (registry kinds from repro.dht.failures).
 FAILMODE_MODELS = ("uniform", "targeted", "regional")
 #: Severity at which the cross-model summary table compares the models
@@ -45,7 +50,7 @@ FAST_D = 8
 
 
 class FailureModeComparison(Experiment):
-    """Compare all five geometries under uniform vs targeted vs regional failure."""
+    """Compare all six geometries under uniform vs targeted vs regional failure."""
 
     experiment_id = "EXT-FAILMODES"
     title = "Static resilience under uniform, degree-targeted and regional failures"

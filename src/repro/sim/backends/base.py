@@ -13,9 +13,12 @@ The contract every backend must honour is the repo's routing invariant:
 **bit-identical outcomes, pair-for-pair, to the scalar
 :meth:`Overlay.route` oracle** (and hence to every other backend).  A
 backend may reorganise *how* the hops are computed (vectorized NumPy passes,
-JIT-compiled per-pair loops, …) but never *what* they compute; the parity
-property tests in ``tests/test_backends.py`` enforce this across all five
-geometries.
+JIT-compiled per-pair loops, …) but never *what* they compute — and since
+the KernelSpec refactor it may not *define* what they compute either: the
+routing rules live in :mod:`repro.sim.kernelspec` registrations, one per
+geometry, and backends only execute them.  The conformance harness
+(:mod:`repro.sim.conformance`, driven by ``tests/test_kernelspec.py``)
+enforces the invariant across every registered geometry.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...dht.routing import FAILURE_CODES, FailureReason
+from ..kernelspec import ring_modulus
 
 __all__ = [
     "SUCCESS_CODE",
@@ -44,15 +48,6 @@ SUCCESS_CODE = FAILURE_CODES[FailureReason.NONE]
 DEAD_END_CODE = FAILURE_CODES[FailureReason.DEAD_END]
 REQUIRED_FAILED_CODE = FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED]
 HOP_LIMIT_CODE = FAILURE_CODES[FailureReason.HOP_LIMIT_EXCEEDED]
-
-
-def ring_modulus(overlay) -> int:
-    """Modulus of clockwise identifier arithmetic (physical space size).
-
-    The fused disjoint-union view exposes the *physical* modulus via a
-    ``ring_modulus`` attribute; plain overlays use their node count.
-    """
-    return int(getattr(overlay, "ring_modulus", overlay.n_nodes))
 
 
 def pack_alive_words(alive: np.ndarray) -> np.ndarray:

@@ -1,46 +1,53 @@
-"""JIT-compiled kernel backend (Numba, optional ``pip install .[fast]``).
+"""JIT kernel backend: the per-pair executor of the KernelSpec layer
+(Numba, optional ``pip install .[fast]``).
 
-Where the NumPy backend advances *all* active pairs one hop per interpreted
-kernel call (paying Python-level dispatch and full intermediate arrays every
-hop), this backend compiles one per-geometry hop *loop*: each pair is routed
-from source to termination inside a single ``@njit`` function over int32
-routing state, with aliveness looked up in bit-packed uint64 words.  No
+Like the NumPy backend, this module contains **no per-geometry routing
+logic**.  Each geometry's rule lives in its registered
+:class:`~repro.sim.kernelspec.KernelSpec`; this executor instantiates the
+spec's element-wise functions with the *scalar* primitive set
+(:data:`repro.sim.kernelspec.SCALAR_OPS`), wraps them in the generic
+per-pair hop loops (:func:`~repro.sim.kernelspec.make_direct_pair_loop` /
+:func:`~repro.sim.kernelspec.make_scan_pair_loop`), and — when Numba is
+importable — compiles the whole chain with ``@njit``.  Each pair is then
+routed from source to termination inside one compiled loop over int32
+routing state, with aliveness looked up in bit-packed uint64 words: no
 per-hop Python dispatch, no ``(batch, degree)`` temporaries.
 
-Numba is an optional extra.  The loop bodies below are deliberately plain
-Python functions — when Numba is importable they are compiled at import time
-(``_JIT_LOOPS``); when it is not, the *same* function objects remain callable
-as pure Python (``_PYTHON_LOOPS``).  That property is what keeps the backend
-testable everywhere: the parity suite in ``tests/test_backends.py`` runs the
-uncompiled loops against the scalar oracle and the NumPy backend even in
-environments without Numba, so the exact code Numba compiles is
-property-tested on every CI leg.  (The uncompiled loops are orders of
-magnitude slower than the NumPy backend and are never selected by the
-registry — they exist for verification only.)
+Numba is an optional extra, and the loops are deliberately buildable
+without it: ``python_loop_backend()`` returns the *same* spec functions and
+the *same* generic loops as plain Python.  That property is what keeps the
+backend testable everywhere — the conformance harness runs the uncompiled
+loops against the scalar oracle and the NumPy backend on every CI leg, so
+the exact code Numba compiles is property-tested with or without Numba.
+(The uncompiled loops are orders of magnitude slower than the NumPy backend
+and are never selected by the registry — they exist for verification only.)
 
-Each loop reproduces the scalar routing rules exactly — same next-hop
-choice, same tie-breaking (documented per loop), same hop bookkeeping as
-``NumpyBackend.run``: ``hops`` counts forwarding steps actually taken, the
-failed hop of a dropped message is not counted, and the hop budget is
-checked before every forwarding step.
+The hop bookkeeping is the shared scalar-oracle contract: ``hops`` counts
+forwarding steps actually taken, the failed hop of a dropped message is not
+counted, and the hop budget is checked before every forwarding step.
 """
 
 from __future__ import annotations
 
 import importlib.util
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
-from ...exceptions import UnknownGeometryError
+from ..kernelspec import (
+    SCALAR_OPS,
+    KernelSpec,
+    Ops,
+    get_kernel_spec,
+    make_direct_pair_loop,
+    make_scan_pair_loop,
+    scalar_functions,
+)
 from .base import (
-    DEAD_END_CODE,
     HOP_LIMIT_CODE,
-    REQUIRED_FAILED_CODE,
     SUCCESS_CODE,
     KernelBackend,
     pack_alive_words,
-    ring_modulus,
 )
 
 __all__ = ["NumbaBackend", "NUMBA_AVAILABLE", "python_loop_backend"]
@@ -52,215 +59,75 @@ __all__ = ["NumbaBackend", "NUMBA_AVAILABLE", "python_loop_backend"]
 NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
 
 
-#: Sentinel distance strictly above every same-cell XOR/ring distance
-#: (< 2^d); large enough for any identifier space that fits in memory.
-_FAR = 1 << 62
+_NJIT_OPS = None
 
 
-def _alive_bit(words, index):
-    """True iff identifier ``index`` is alive in the packed uint64 words."""
-    return (words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1) != np.uint64(0)
+def _njit_ops() -> Ops:  # pragma: no cover - exercised only on the Numba CI leg
+    """The scalar primitive set compiled with ``@njit``, once, on first use.
 
-
-def _tree_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
-    """Plaxton tree: the single neighbour correcting the leftmost differing bit."""
-    for p in range(sources.shape[0]):
-        cur = sources[p]
-        dst = destinations[p]
-        hop = 0
-        while True:
-            if hop >= hop_limit:
-                codes[p] = HOP_LIMIT_CODE
-                hops[p] = hop
-                break
-            diff = cur ^ dst
-            bit_length = 0
-            while diff != 0:  # cur != dst while routing, so bit_length >= 1
-                bit_length += 1
-                diff >>= 1
-            nxt = table[cur, d - bit_length]
-            if not _alive_bit(words, nxt):
-                codes[p] = REQUIRED_FAILED_CODE
-                hops[p] = hop  # the failed hop is not counted
-                break
-            cur = nxt
-            if cur == dst:
-                succeeded[p] = True
-                hops[p] = hop + 1
-                break
-            hop += 1
-
-
-def _hypercube_loop(
-    table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes
-):
-    """Greedy hypercube: smallest alive neighbour correcting a differing bit.
-
-    Same bit rule as the NumPy kernel: among the differing bits whose
-    neighbour ``cur ^ 2^j`` is alive, clear the highest set bit of ``cur``
-    (the largest decrease) or, when none is set, set the lowest clear bit
-    (the smallest increase) — exactly the scalar min-identifier choice.
+    These wrap the *same* function objects as :data:`SCALAR_OPS`, so the
+    compiled primitives are exactly the ones the uncompiled parity legs
+    exercise.
     """
-    for p in range(sources.shape[0]):
-        cur = sources[p]
-        dst = destinations[p]
-        hop = 0
-        while True:
-            if hop >= hop_limit:
-                codes[p] = HOP_LIMIT_CODE
-                hops[p] = hop
-                break
-            diff = cur ^ dst
-            usable = 0
-            for j in range(d):
-                if (diff >> j) & 1 != 0 and _alive_bit(words, cur ^ (1 << j)):
-                    usable |= 1 << j
-            if usable == 0:
-                codes[p] = DEAD_END_CODE
-                hops[p] = hop
-                break
-            decreasing = usable & cur
-            if decreasing != 0:
-                bit = decreasing
-                while bit & (bit - 1) != 0:  # isolate the highest set bit
-                    bit &= bit - 1
-            else:
-                bit = usable & (-usable)  # all usable bits clear in cur: lowest one
-            cur = cur ^ bit
-            if cur == dst:
-                succeeded[p] = True
-                hops[p] = hop + 1
-                break
-            hop += 1
-
-
-def _xor_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
-    """Greedy XOR: the alive neighbour strictly closest to the destination.
-
-    XOR distances to a fixed destination are distinct across distinct
-    neighbours, so the strict ``<`` scan (first minimum) is the unique
-    scalar choice; a duplicated table entry ties only with itself.
-    """
-    degree = table.shape[1]
-    for p in range(sources.shape[0]):
-        cur = sources[p]
-        dst = destinations[p]
-        hop = 0
-        while True:
-            if hop >= hop_limit:
-                codes[p] = HOP_LIMIT_CODE
-                hops[p] = hop
-                break
-            best_distance = _FAR
-            best_neighbor = cur
-            for c in range(degree):
-                neighbor = table[cur, c]
-                if _alive_bit(words, neighbor):
-                    distance = neighbor ^ dst
-                    if distance < best_distance:
-                        best_distance = distance
-                        best_neighbor = neighbor
-            if best_distance >= cur ^ dst:  # no alive neighbour strictly improves
-                codes[p] = DEAD_END_CODE
-                hops[p] = hop
-                break
-            cur = best_neighbor
-            if cur == dst:
-                succeeded[p] = True
-                hops[p] = hop + 1
-                break
-            hop += 1
-
-
-def _ring_loop(table, d, modulus, words, sources, destinations, hop_limit, succeeded, hops, codes):
-    """Greedy clockwise routing without overshooting (Chord and Symphony).
-
-    Ties in the remaining distance imply the same neighbour identifier, so
-    the strict ``<`` scan (first minimum) reproduces the scalar
-    first-strict-improvement scan.  Same-cell differences stay inside
-    ``(-modulus, modulus)`` on a disjoint-union view, so one conditional add
-    recovers the physical clockwise distance.
-    """
-    degree = table.shape[1]
-    for p in range(sources.shape[0]):
-        cur = sources[p]
-        dst = destinations[p]
-        hop = 0
-        while True:
-            if hop >= hop_limit:
-                codes[p] = HOP_LIMIT_CODE
-                hops[p] = hop
-                break
-            remaining = dst - cur
-            if remaining < 0:
-                remaining += modulus
-            best_after = _FAR
-            best_neighbor = cur
-            for c in range(degree):
-                neighbor = table[cur, c]
-                if _alive_bit(words, neighbor):
-                    progress = neighbor - cur
-                    if progress < 0:
-                        progress += modulus
-                    # progress >= 1 for real neighbours (overlays never list
-                    # a node as its own neighbour).
-                    if progress <= remaining:
-                        after = remaining - progress
-                        if after < best_after:
-                            best_after = after
-                            best_neighbor = neighbor
-            if best_after >= _FAR:
-                codes[p] = DEAD_END_CODE
-                hops[p] = hop
-                break
-            cur = best_neighbor
-            if cur == dst:
-                succeeded[p] = True
-                hops[p] = hop + 1
-                break
-            hop += 1
-
-
-#: The uncompiled loop bodies, kept callable for verification everywhere.
-_PYTHON_LOOPS = {
-    "tree": _tree_loop,
-    "hypercube": _hypercube_loop,
-    "xor": _xor_loop,
-    "ring": _ring_loop,
-    "smallworld": _ring_loop,
-}
-
-_JIT_LOOPS = None
-
-
-def _jit_loops():  # pragma: no cover - exercised only on the Numba CI leg
-    """Import Numba and decorate the loop bodies, once, on first use."""
-    global _JIT_LOOPS, _alive_bit
-    if _JIT_LOOPS is None:
+    global _NJIT_OPS
+    if _NJIT_OPS is None:
         import numba
 
-        # Compile the alive-bit helper first so the loop bodies resolve the
-        # module global to the compiled dispatcher at their own compile time.
-        _alive_bit = numba.njit(inline="always")(_alive_bit)
-        _JIT_LOOPS = {
-            "tree": numba.njit(cache=True, nogil=True)(_tree_loop),
-            "hypercube": numba.njit(cache=True, nogil=True)(_hypercube_loop),
-            "xor": numba.njit(cache=True, nogil=True)(_xor_loop),
-            "ring": numba.njit(cache=True, nogil=True)(_ring_loop),
-        }
-        _JIT_LOOPS["smallworld"] = _JIT_LOOPS["ring"]
-    return _JIT_LOOPS
+        inline = numba.njit(inline="always")
+        _NJIT_OPS = Ops(
+            where=inline(SCALAR_OPS.where),
+            bit_length=inline(SCALAR_OPS.bit_length),
+            highest_set_bit=inline(SCALAR_OPS.highest_set_bit),
+            alive=inline(SCALAR_OPS.alive),
+        )
+    return _NJIT_OPS
+
+
+def _build_pair_loop(spec: KernelSpec, jit: bool):
+    """The per-pair loop for ``spec``: the generic driver closed over the
+    spec's scalar functions, compiled when ``jit`` is set."""
+    if not jit:
+        if spec.kind == "direct":
+            (advance,) = scalar_functions(spec)
+            return make_direct_pair_loop(advance, HOP_LIMIT_CODE, spec.fail_code)
+        key, accept = scalar_functions(spec)
+        return make_scan_pair_loop(key, accept, HOP_LIMIT_CODE, spec.fail_code)
+    # pragma-style note: the JIT branch only runs where Numba is installed.
+    import numba  # pragma: no cover - exercised only on the Numba CI leg
+
+    ops = _njit_ops()
+    inline = numba.njit(inline="always")
+    if spec.kind == "direct":
+        advance = inline(spec.advance(ops))
+        loop = make_direct_pair_loop(advance, HOP_LIMIT_CODE, spec.fail_code)
+    else:
+        key = inline(spec.key(ops))
+        accept = inline(spec.accept(ops))
+        loop = make_scan_pair_loop(key, accept, HOP_LIMIT_CODE, spec.fail_code)
+    return numba.njit(nogil=True)(loop)
+
+
+def _narrowed(array: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Contiguous copy of an integer state array, narrowed to int32 where safe.
+
+    Every realistic identifier space fits 32 bits (the fused union tables
+    already are int32), so the compiled loops touch half the memory the
+    int64 tables would cost.  The ``// 2`` head-room covers spec sentinels,
+    which sit at most one power of two above the identifier space.
+    """
+    if array.dtype.kind in "iu" and array.dtype.itemsize > 4:
+        if n_nodes <= np.iinfo(np.int32).max // 2:
+            return np.ascontiguousarray(array, dtype=np.int32)
+    return np.ascontiguousarray(array)
 
 
 class NumbaBackend(KernelBackend):
-    """Per-pair JIT hop loops over int32 state and uint64 aliveness words.
+    """Per-pair hop loops over int32 state and uint64 aliveness words.
 
-    ``prepare`` packs the survival vector into uint64 words and narrows the
-    routing table to int32 (every realistic identifier space fits; the fused
-    union tables already are int32), so the compiled loops touch half the
-    memory the int64 tables would cost.  ``run`` hands whole chunks to one
-    compiled function — the only Python-level work per chunk is the call
-    itself.
+    ``prepare`` resolves the geometry's spec, builds (and memoizes) its
+    compiled loop, narrows the spec's state arrays to int32 and packs the
+    survival vector into uint64 words; ``run`` hands whole chunks to one
+    loop call — the only Python-level work per chunk is the call itself.
     """
 
     name = "numba"
@@ -271,8 +138,8 @@ class NumbaBackend(KernelBackend):
                 "the numba backend requires the optional 'fast' extra "
                 "(pip install 'repro-rcm[fast]')"
             )
-        self._loops = _jit_loops() if jit else _PYTHON_LOOPS
         self._jit = bool(jit)
+        self._loops: Dict[KernelSpec, object] = {}
         if not jit:
             # Honest metadata: results are identical, but speed is not.
             self.name = "numba-python"
@@ -282,48 +149,49 @@ class NumbaBackend(KernelBackend):
         """True when the loops run compiled (False only for the test-only variant)."""
         return self._jit
 
+    def _loop_for(self, spec: KernelSpec):
+        loop = self._loops.get(spec)
+        if loop is None:
+            loop = _build_pair_loop(spec, self._jit)
+            self._loops[spec] = loop
+        return loop
+
     def prepare(self, overlay, alive: np.ndarray):
-        geometry = overlay.geometry_name
-        try:
-            loop = self._loops[geometry]
-        except KeyError as exc:
-            raise UnknownGeometryError(
-                f"no batch kernel for geometry {geometry!r}; "
-                f"expected one of {sorted(self._loops)}"
-            ) from exc
-        table = overlay.neighbor_array()
-        dtype = np.int32 if overlay.n_nodes <= np.iinfo(np.int32).max else np.int64
-        table = np.ascontiguousarray(table, dtype=dtype)
+        spec = get_kernel_spec(overlay.geometry_name)
+        loop = self._loop_for(spec)
+        state = spec.prepare(overlay, alive)
+        n = alive.size
+        table = None if state.table is None else _narrowed(state.table, n)
+        arrays = tuple(_narrowed(array, n) for array in state.arrays)
         words = pack_alive_words(alive)
-        return loop, table, words
+        return spec, loop, table, state.consts, arrays, words
 
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        loop, table, words = state
+        spec, loop, table, consts, arrays, words = state
+        pair_dtype = table.dtype if table is not None else (
+            arrays[0].dtype if arrays else np.int64
+        )
+        sources = np.ascontiguousarray(sources, dtype=pair_dtype)
+        destinations = np.ascontiguousarray(destinations, dtype=pair_dtype)
         n_pairs = sources.size
         succeeded = np.zeros(n_pairs, dtype=bool)
         hops = np.zeros(n_pairs, dtype=np.int64)
         codes = np.full(n_pairs, SUCCESS_CODE, dtype=np.int8)
-        loop(
-            table,
-            overlay.d,
-            ring_modulus(overlay),
-            words,
-            np.ascontiguousarray(sources, dtype=table.dtype),
-            np.ascontiguousarray(destinations, dtype=table.dtype),
-            overlay.hop_limit(),
-            succeeded,
-            hops,
-            codes,
-        )
+        hop_limit = overlay.hop_limit()
+        if spec.kind == "scan":
+            loop(table, consts, sources, destinations, hop_limit, succeeded, hops, codes)
+        else:
+            loop(consts, arrays, words, sources, destinations, hop_limit, succeeded, hops, codes)
         return succeeded, hops, codes
 
 
 def python_loop_backend() -> NumbaBackend:
     """The uncompiled-loop variant, for parity testing in any environment.
 
-    Runs the exact function bodies Numba would compile, as plain Python —
-    far too slow for real sweeps, never returned by the registry.
+    Runs the exact spec functions and generic loops Numba would compile, as
+    plain Python — far too slow for real sweeps, never returned by the
+    registry.
     """
     return NumbaBackend(jit=False)

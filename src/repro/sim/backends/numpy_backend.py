@@ -1,28 +1,22 @@
-"""NumPy kernel backend: vectorized per-hop batch kernels.
+"""NumPy kernel backend: the vectorized executor of the KernelSpec layer.
 
-This is the engine's reference backend — the prepare/step kernel factories
-and the blocked hop loop that previously lived inside
-:mod:`repro.sim.engine`, unchanged in semantics.  A kernel is a *factory*:
-called once per ``(overlay, survival mask)`` batch, it precomputes
-mask-dependent tables and returns the per-hop ``step`` function.  The
-precomputation runs once per routed batch — one table pass amortised over
-every hop of every pair — which is where most of the per-hop gather work of
-the original kernels went.
+This backend contains **no per-geometry routing logic**.  Every routing
+rule lives in its geometry's :class:`~repro.sim.kernelspec.KernelSpec`
+(registered next to the scalar oracle in :mod:`repro.dht`); this module
+merely executes specs vectorized: :meth:`NumpyBackend.prepare` asks the
+spec for its mask-dependent state and assembles the per-hop step via
+:func:`repro.sim.kernelspec.vector_step`, and :meth:`NumpyBackend.run`
+iterates that step over the active pair set one hop at a time.
 
 Every step routes under one flat survival vector, indexed by the same
 identifiers the routing tables hold.  The fused multi-cell path reuses the
-kernels unchanged by routing over a *disjoint union* of the overlay's cells
-(see ``repro.sim.engine._UnionOverlayView``): virtual identifier
+executor unchanged by routing over a *disjoint union* of the overlay's
+cells (see ``repro.sim.engine._UnionOverlayView``): virtual identifier
 ``cell * n_nodes + node``, a flattened mask stack, and offset-shifted
-tables.  Because ``n_nodes = 2^d``, the cell offset occupies bits above the
-identifier space and cancels in every same-cell XOR, so the bitwise
-geometries need no changes; the ring geometries read their clockwise modulus
-from :func:`~repro.sim.backends.base.ring_modulus` instead of the (virtual)
-node count.
-
-All tables a factory derives (sentinel-masked copies, aliveness bitsets)
-are marked read-only, like the overlay tables they are built from, so a
-buggy step function cannot silently corrupt state shared across hops.
+tables.  Specs are written to be union-transparent (bitwise geometries'
+cell offsets cancel; ring geometries read their physical modulus via
+:func:`~repro.sim.kernelspec.ring_modulus`; de Bruijn masks down to local
+identifiers), so a single mask is simply a stack of one.
 """
 
 from __future__ import annotations
@@ -31,169 +25,10 @@ from typing import Tuple
 
 import numpy as np
 
-from ...exceptions import RoutingError, UnknownGeometryError
-from .base import (
-    DEAD_END_CODE,
-    HOP_LIMIT_CODE,
-    REQUIRED_FAILED_CODE,
-    SUCCESS_CODE,
-    KernelBackend,
-    ring_modulus,
-)
+from ..kernelspec import get_kernel_spec, vector_step
+from .base import HOP_LIMIT_CODE, SUCCESS_CODE, KernelBackend
 
-__all__ = ["NumpyBackend"]
-
-
-def _distance_sentinel(alive: np.ndarray, dtype) -> int:
-    """An identifier whose XOR distance to any real identifier beats nothing.
-
-    The sentinel's set bit lies strictly above every routable identifier
-    (``alive.size - 1``), so ``sentinel ^ dst >= alive.size`` exceeds every
-    real same-cell distance (``< 2^d <= alive.size``) for any destination.
-    """
-    sentinel = 1 << int(alive.size - 1).bit_length()
-    if sentinel > np.iinfo(dtype).max // 2:  # pragma: no cover - absurdly large space
-        raise RoutingError(f"identifier space too large for a {np.dtype(dtype)} sentinel")
-    return sentinel
-
-
-def _tree_kernel(overlay, alive: np.ndarray):
-    """Plaxton-tree routing: the single neighbour correcting the leftmost differing bit."""
-    tables = overlay.neighbor_array()
-    d = overlay.d
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        diff = cur ^ dst
-        # Column of the highest-order differing bit: position - 1 =
-        # d - bit_length(diff).  np.frexp returns the exponent e with
-        # diff = m * 2^e, m in [0.5, 1), i.e. exactly bit_length(diff);
-        # exact for diff < 2^53, far beyond any overlay that fits in memory.
-        bit_length = np.frexp(diff.astype(np.float64))[1]
-        nxt = tables[cur, d - bit_length]
-        return nxt, alive[nxt], REQUIRED_FAILED_CODE
-
-    return step
-
-
-def _hypercube_kernel(overlay, alive: np.ndarray):
-    """Greedy hypercube routing: smallest alive neighbour correcting a differing bit.
-
-    The hypercube wiring is deterministic — node ``x`` links to ``x ^ 2^j``
-    for every bit ``j`` (see ``HypercubeOverlay``) — so the factory packs
-    each node's alive neighbours into a *bitset* (bit ``j`` set iff
-    ``alive[x ^ 2^j]``) and the per-hop step is pure flat bit arithmetic:
-    no ``(batch, d)`` temporaries, no per-hop table gather.  The scalar
-    min-identifier rule becomes: clear the highest usable 1-bit of ``cur``
-    (the largest decrease) or, when no usable bit of ``cur`` is set, set the
-    lowest usable 0-bit (the smallest increase).
-    """
-    d = overlay.d
-    n = alive.size
-    dtype = np.int32 if n <= np.iinfo(np.int32).max // 2 else np.int64
-    identifiers = np.arange(n, dtype=dtype)
-    alive_bits = np.zeros(n, dtype=dtype)
-    for j in range(d):
-        alive_bits |= alive[identifiers ^ dtype(1 << j)].astype(dtype) << dtype(j)
-    alive_bits.setflags(write=False)
-    one = dtype(1)
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        usable = alive_bits[cur] & (cur ^ dst)
-        decreasing = usable & cur
-        # Highest set bit of `decreasing` via frexp (see _tree_kernel); the
-        # shift is clamped so the unselected branch never shifts by -1.
-        high = np.frexp(decreasing.astype(np.float64))[1]
-        clear_highest = np.left_shift(one, np.maximum(high, 1).astype(dtype) - one)
-        increasing = usable & ~cur
-        set_lowest = increasing & -increasing
-        bit = np.where(decreasing != 0, clear_highest, set_lowest)
-        # usable == 0 leaves bit == 0, i.e. next == cur, discarded via ok.
-        return cur ^ bit, usable != 0, DEAD_END_CODE
-
-    return step
-
-
-def _xor_kernel(overlay, alive: np.ndarray):
-    """Greedy XOR routing: the alive neighbour strictly closest to the destination.
-
-    The factory rewrites every dead table entry to a sentinel beyond the
-    identifier space once, so the per-hop step needs neither an aliveness
-    gather nor a masking pass: a dead neighbour's XOR distance
-    (``>= alive.size``) can never win the argmin against an alive one
-    (``< 2^d``), and when no alive neighbour improves on the current
-    distance the winner fails the single improvement check on the winning
-    entry — exactly the scalar dead-end verdict.
-    """
-    tables = overlay.neighbor_array()
-    sentinel = _distance_sentinel(alive, tables.dtype)
-    masked_tables = np.where(alive[tables], tables, tables.dtype.type(sentinel))
-    masked_tables.setflags(write=False)
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        neighbors = masked_tables[cur]  # (batch, d)
-        distances = neighbors ^ dst[:, None]
-        # XOR distances to a fixed destination are distinct across distinct
-        # neighbours, so the argmin is the unique scalar choice.
-        best = distances.argmin(axis=1)
-        rows = np.arange(cur.size)
-        ok = distances[rows, best] < (cur ^ dst)
-        return neighbors[rows, best], ok, DEAD_END_CODE
-
-    return step
-
-
-def _ring_kernel(overlay, alive: np.ndarray):
-    """Greedy clockwise routing without overshooting (Chord and Symphony).
-
-    Dead table entries are rewritten to the node itself once, which makes
-    their clockwise progress exactly zero — the one value the scalar rule
-    already excludes — so the per-hop step skips the aliveness gather.
-    """
-    tables = overlay.neighbor_array()
-    n = ring_modulus(overlay)
-    far = np.iinfo(tables.dtype).max
-    self_column = np.arange(alive.size, dtype=tables.dtype)[:, None]
-    masked_tables = np.where(alive[tables], tables, self_column)
-    masked_tables.setflags(write=False)
-
-    def step(cur: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
-        neighbors = masked_tables[cur]  # (batch, k)
-        # Same-cell differences stay inside (-n, n), so the physical modulus
-        # recovers the clockwise distances even on a disjoint-union view.
-        # Real neighbours have progress >= 1 (overlays never list a node as
-        # its own neighbour); dead ones were rewritten to progress == 0.
-        progress = (neighbors - cur[:, None]) % n
-        remaining = ((dst - cur) % n)[:, None]
-        usable = (progress != 0) & (progress <= remaining)
-        after = np.where(usable, remaining - progress, far)
-        # Ties in the remaining distance imply the same neighbour identifier,
-        # so argmin (first minimum) reproduces the scalar
-        # first-strict-improvement scan.
-        best = after.argmin(axis=1)
-        rows = np.arange(cur.size)
-        return neighbors[rows, best], usable[rows, best], DEAD_END_CODE
-
-    return step
-
-
-STEP_KERNELS = {
-    "tree": _tree_kernel,
-    "hypercube": _hypercube_kernel,
-    "xor": _xor_kernel,
-    "ring": _ring_kernel,
-    "smallworld": _ring_kernel,
-}
-
-
-def geometry_step_factory(overlay):
-    """The step-kernel factory for ``overlay``'s geometry, or a clear error."""
-    try:
-        return STEP_KERNELS[overlay.geometry_name]
-    except KeyError as exc:
-        raise UnknownGeometryError(
-            f"no batch kernel for geometry {overlay.geometry_name!r}; "
-            f"expected one of {sorted(STEP_KERNELS)}"
-        ) from exc
+__all__ = ["NumpyBackend", "KERNEL_BLOCK"]
 
 
 #: Active pairs handed to a step kernel per call.  Kernels allocate a handful
@@ -221,7 +56,7 @@ def _step_blocked(step, cur: np.ndarray, dst: np.ndarray):
 
 
 class NumpyBackend(KernelBackend):
-    """The vectorized NumPy hop loop: advance all active pairs one hop per iteration.
+    """The vectorized hop loop: advance all active pairs one hop per iteration.
 
     A pair is active from iteration 0 until it terminates and hops exactly
     once per iteration it is active, so every active pair has taken
@@ -233,7 +68,8 @@ class NumpyBackend(KernelBackend):
     name = "numpy"
 
     def prepare(self, overlay, alive: np.ndarray):
-        return geometry_step_factory(overlay)(overlay, alive)
+        spec = get_kernel_spec(overlay.geometry_name)
+        return vector_step(spec, spec.prepare(overlay, alive), alive)
 
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray

@@ -1,0 +1,394 @@
+"""Spec-conformance harness: the guard on the two-copy routing invariant.
+
+Since the KernelSpec refactor each routing rule exists in exactly **two**
+places — the scalar :meth:`Overlay.route` oracle and the geometry's
+registered :class:`~repro.sim.kernelspec.KernelSpec` — and this harness is
+what keeps them equal.  It auto-discovers every registered geometry (no
+test edits when a new geometry ships) and property-tests the spec against
+the oracle across every execution shape the generic drivers derive:
+
+* **backends** — the vectorized NumPy executor, the uncompiled per-pair
+  loops (the exact code Numba compiles, runnable everywhere), and the JIT
+  executor when Numba is importable;
+* **dispatch modes** — single-mask, stacked disjoint-union batches
+  (contiguous and shuffled cell indices), and ``batch_size`` chunking;
+* **failure models** — every registry kind in
+  :data:`repro.dht.failures.FAILURE_MODEL_KINDS`, batch engine vs the
+  scalar engine;
+* **worker counts** — :class:`~repro.sim.engine.SweepRunner` grids over
+  all registered geometries, fused and per-cell, pooled vs in-process.
+
+``tests/test_kernelspec.py`` drives these checks through pytest;
+``python -m repro.sim.conformance`` runs the full battery standalone (the
+CI conformance leg) and exits non-zero on the first violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dht import OVERLAY_CLASSES, Overlay
+from ..dht.failures import FAILURE_MODEL_KINDS, make_failure_model, survival_mask
+from ..exceptions import UnknownGeometryError
+from .backends import NUMBA_AVAILABLE, python_loop_backend, resolve_backend
+from .engine import BackendLike, SweepRunner, route_pairs, route_pairs_stacked
+from .kernelspec import registered_geometries
+from .sampling import sample_survivor_pair_arrays
+from .static_resilience import measure_routability
+
+__all__ = [
+    "CONFORMANCE_D",
+    "WORKER_COUNTS",
+    "conformance_backends",
+    "conformance_geometries",
+    "build_conformance_overlay",
+    "assert_oracle_parity",
+    "assert_stacked_parity",
+    "assert_hop_limit_parity",
+    "assert_failure_model_parity",
+    "assert_worker_parity",
+    "run_conformance",
+    "main",
+]
+
+#: Identifier length of the harness overlays (64 nodes: big enough for every
+#: failure reason to occur, small enough to route against the scalar oracle).
+CONFORMANCE_D = 6
+
+#: Worker counts the sweep-dispatch check covers (pooled counts deliberately
+#: include a non-divisor of the grid size).
+WORKER_COUNTS = (1, 3, 4)
+
+#: Severities the oracle-parity check samples (none, moderate, heavy failure).
+PARITY_SEVERITIES = (0.0, 0.3, 0.6)
+
+
+def conformance_geometries() -> Tuple[str, ...]:
+    """Registered spec geometries, verified to have a matching overlay oracle."""
+    geometries = registered_geometries()
+    missing = [g for g in geometries if g not in OVERLAY_CLASSES]
+    if missing:  # pragma: no cover - registration bug guard
+        raise UnknownGeometryError(
+            f"kernel specs registered without overlay oracles: {missing}"
+        )
+    return geometries
+
+
+def conformance_backends() -> List[Tuple[str, BackendLike]]:
+    """Every backend implementation testable in this environment.
+
+    The uncompiled per-pair loops always run (so the code Numba compiles is
+    verified on every CI leg); the JIT executor joins when importable.
+    """
+    backends: List[Tuple[str, BackendLike]] = [
+        ("numpy", "numpy"),
+        ("python-loop", python_loop_backend()),
+    ]
+    if NUMBA_AVAILABLE:
+        backends.append(("numba-jit", resolve_backend("numba")))
+    return backends
+
+
+def build_conformance_overlay(geometry: str, d: int = CONFORMANCE_D, seed: int = 2006) -> Overlay:
+    """One deterministic overlay per geometry (seeded like the test fixtures)."""
+    return OVERLAY_CLASSES[geometry].build(d, seed=seed)
+
+
+def _deterministic_seed(label: str) -> int:
+    # crc32, not hash(): sampled batches must not vary with PYTHONHASHSEED,
+    # or a parity failure would be unreproducible.
+    return zlib.crc32(label.encode("utf-8"))
+
+
+def _sampled_batch(overlay: Overlay, q: float, pairs: int, seed: int):
+    rng = np.random.default_rng(seed)
+    alive = survival_mask(overlay.n_nodes, q, rng)
+    if int(alive.sum()) < 2:
+        return None
+    sources, destinations = sample_survivor_pair_arrays(alive, pairs, rng)
+    return alive, sources, destinations
+
+
+def assert_oracle_parity(
+    overlay: Overlay,
+    backend: BackendLike,
+    *,
+    q: float,
+    pairs: int = 120,
+    seed: Optional[int] = None,
+) -> int:
+    """Batch outcomes equal the scalar oracle pair-for-pair; returns pairs checked."""
+    if seed is None:
+        seed = _deterministic_seed(f"conformance-{overlay.geometry_name}-{q}")
+    sampled = _sampled_batch(overlay, q, pairs, seed)
+    if sampled is None:
+        return 0
+    alive, sources, destinations = sampled
+    outcome = route_pairs(overlay, sources, destinations, alive, backend=backend)
+    for i in range(outcome.n_pairs):
+        oracle = overlay.route(int(sources[i]), int(destinations[i]), alive)
+        context = (overlay.geometry_name, q, i, int(sources[i]), int(destinations[i]))
+        assert bool(outcome.succeeded[i]) == oracle.succeeded, context
+        assert int(outcome.hops[i]) == oracle.hops, context
+        assert outcome.failure_reason(i) is oracle.failure_reason, context
+    return outcome.n_pairs
+
+
+def assert_stacked_parity(
+    overlay: Overlay,
+    backend: BackendLike,
+    *,
+    qs: Sequence[float] = PARITY_SEVERITIES,
+    pairs: int = 80,
+    seed: int = 97,
+    batch_size: Optional[int] = 29,
+) -> int:
+    """Stacked (fused) outcomes equal per-cell outcomes, shuffled and chunked alike."""
+    rng = np.random.default_rng(seed)
+    masks, sources, destinations = [], [], []
+    for q in qs:
+        alive = survival_mask(overlay.n_nodes, q, rng)
+        if int(alive.sum()) < 2:
+            continue
+        src, dst = sample_survivor_pair_arrays(alive, pairs, rng)
+        masks.append(alive)
+        sources.append(src)
+        destinations.append(dst)
+    if not masks:
+        return 0
+    per_cell = [
+        route_pairs(overlay, src, dst, alive, backend=backend)
+        for alive, src, dst in zip(masks, sources, destinations)
+    ]
+    flat_sources = np.concatenate(sources)
+    flat_destinations = np.concatenate(destinations)
+    cell_indices = np.repeat(np.arange(len(masks), dtype=np.int64), pairs)
+    # A fixed shuffle exercises non-contiguous cell indices through the
+    # disjoint-union driver; the inverse permutation undoes it for comparison.
+    order = np.random.default_rng(7).permutation(flat_sources.size)
+    inverse = np.argsort(order)
+    stack = np.stack(masks)
+    variants = {
+        "stacked": route_pairs_stacked(
+            overlay, flat_sources[order], flat_destinations[order], stack,
+            cell_indices[order], backend=backend,
+        ),
+        "stacked+chunked": route_pairs_stacked(
+            overlay, flat_sources[order], flat_destinations[order], stack,
+            cell_indices[order], backend=backend, batch_size=batch_size,
+        ),
+    }
+    expected_succeeded = np.concatenate([o.succeeded for o in per_cell])
+    expected_hops = np.concatenate([o.hops for o in per_cell])
+    expected_codes = np.concatenate([o.failure_codes for o in per_cell])
+    for label, outcome in variants.items():
+        context = (overlay.geometry_name, label)
+        assert np.array_equal(outcome.succeeded[inverse], expected_succeeded), context
+        assert np.array_equal(outcome.hops[inverse], expected_hops), context
+        assert np.array_equal(outcome.failure_codes[inverse], expected_codes), context
+    return flat_sources.size * len(variants)
+
+
+class _HopLimited:
+    """An overlay view with a deliberately tiny hop budget.
+
+    Forces the HOP_LIMIT_EXCEEDED branch of every executor; everything else
+    delegates to the wrapped overlay.
+    """
+
+    def __init__(self, overlay: Overlay, hop_limit: int) -> None:
+        self._overlay = overlay
+        self._limit = hop_limit
+
+    def __getattr__(self, item):
+        return getattr(self._overlay, item)
+
+    def hop_limit(self) -> int:
+        return self._limit
+
+
+def assert_hop_limit_parity(
+    overlay: Overlay,
+    backend: BackendLike,
+    *,
+    hop_limit: int = 2,
+    pairs: int = 32,
+) -> int:
+    """Budget-exhaustion bookkeeping is identical across executors.
+
+    The scalar oracle's budget lives inside ``Overlay.route`` (which reads
+    its own ``hop_limit()``), so the cross-check here is against the NumPy
+    executor — itself oracle-parity-tested above — on a wrapped overlay
+    whose budget is small enough to bite.
+    """
+    from .backends.base import HOP_LIMIT_CODE
+
+    limited = _HopLimited(overlay, hop_limit)
+    alive = np.ones(overlay.n_nodes, dtype=bool)
+    sources = np.arange(0, min(pairs, overlay.n_nodes // 2), dtype=np.int64)
+    # Bitwise complements: maximal Hamming/XOR distance and a long clockwise
+    # walk, so a 2-hop budget bites on every geometry.
+    destinations = (overlay.n_nodes - 1) - sources
+    reference = route_pairs(limited, sources, destinations, alive, backend="numpy")
+    outcome = route_pairs(limited, sources, destinations, alive, backend=backend)
+    context = (overlay.geometry_name, "hop-limit")
+    assert np.array_equal(reference.succeeded, outcome.succeeded), context
+    assert np.array_equal(reference.hops, outcome.hops), context
+    assert np.array_equal(reference.failure_codes, outcome.failure_codes), context
+    # The tiny budget must actually bite, or the branch went unexercised.
+    assert (reference.failure_codes == HOP_LIMIT_CODE).any(), context
+    return int(sources.size)
+
+
+def assert_failure_model_parity(
+    overlay: Overlay,
+    backend: BackendLike,
+    *,
+    kind: str,
+    severity: float = 0.35,
+    pairs: int = 80,
+    trials: int = 2,
+    seed: int = 29,
+) -> int:
+    """Batch metrics equal scalar-engine metrics under one failure-model kind."""
+    results = {
+        engine: measure_routability(
+            overlay,
+            severity,
+            pairs=pairs,
+            trials=trials,
+            seed=seed,
+            failure_model=make_failure_model(kind, severity),
+            engine=engine,
+            backend=backend if engine == "batch" else None,
+        )
+        for engine in ("batch", "scalar")
+    }
+    batch, scalar = results["batch"].metrics, results["scalar"].metrics
+    context = (overlay.geometry_name, kind)
+    assert batch.attempts == scalar.attempts, context
+    assert batch.successes == scalar.successes, context
+    assert batch.failure_reasons == scalar.failure_reasons, context
+    for field in ("mean_hops_successful", "mean_hops_failed"):
+        a, b = getattr(batch, field), getattr(scalar, field)
+        assert a == b or (np.isnan(a) and np.isnan(b)), (*context, field)
+    return batch.attempts
+
+
+def assert_worker_parity(
+    geometries: Sequence[str],
+    backend: BackendLike,
+    *,
+    workers: Sequence[int] = WORKER_COUNTS,
+    d: int = CONFORMANCE_D,
+    qs: Sequence[float] = (0.1, 0.5),
+    pairs: int = 40,
+    replicates: int = 2,
+    base_seed: int = 321,
+    fused: bool = True,
+) -> int:
+    """SweepRunner grids over ``geometries`` are identical for every worker count."""
+    grids: Dict[int, Dict] = {}
+    for count in workers:
+        with SweepRunner(
+            pairs=pairs,
+            replicates=replicates,
+            workers=count,
+            base_seed=base_seed,
+            backend=backend,
+            fused=fused,
+        ) as runner:
+            grids[count] = runner.run(list(geometries), d, list(qs))
+    reference = grids[workers[0]]
+    for count, grid in grids.items():
+        assert grid.keys() == reference.keys(), count
+        for cell, expected in reference.items():
+            measured = grid[cell].metrics
+            context = (count, cell)
+            assert measured.attempts == expected.metrics.attempts, context
+            assert measured.successes == expected.metrics.successes, context
+            assert measured.failure_reasons == expected.metrics.failure_reasons, context
+    return len(reference) * len(grids)
+
+
+def _require_assertions() -> None:
+    """The harness is built on assert statements; refuse to no-op under -O.
+
+    With ``python -O`` (or ``PYTHONOPTIMIZE``) every parity assert is
+    stripped and the harness would print success while verifying nothing —
+    fail loudly instead of lying.
+    """
+    if not __debug__:
+        raise RuntimeError(
+            "the conformance harness requires assertions; run it without "
+            "python -O / PYTHONOPTIMIZE"
+        )
+
+
+def run_conformance(
+    geometry: str,
+    *,
+    d: int = CONFORMANCE_D,
+    failure_model_kinds: Sequence[str] = FAILURE_MODEL_KINDS,
+) -> Dict[str, int]:
+    """The full single-geometry battery; returns per-check pair counts."""
+    _require_assertions()
+    overlay = build_conformance_overlay(geometry, d)
+    checked: Dict[str, int] = {}
+    for label, backend in conformance_backends():
+        for q in PARITY_SEVERITIES:
+            checked[f"oracle[{label},q={q}]"] = assert_oracle_parity(overlay, backend, q=q)
+        checked[f"stacked[{label}]"] = assert_stacked_parity(overlay, backend)
+        checked[f"hop-limit[{label}]"] = assert_hop_limit_parity(overlay, backend)
+    # Failure-model parity is mask-generation + routing; one backend suffices
+    # per kind (cross-backend routing parity is covered above).
+    for kind in failure_model_kinds:
+        checked[f"model[{kind}]"] = assert_failure_model_parity(
+            overlay, "numpy", kind=kind
+        )
+    return checked
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the whole harness: every geometry, every backend, plus worker parity."""
+    _require_assertions()
+    geometries = conformance_geometries()
+    backends = [label for label, _ in conformance_backends()]
+    print(f"conformance: geometries={list(geometries)} backends={backends}")
+    failures = 0
+    for geometry in geometries:
+        try:
+            checked = run_conformance(geometry)
+        except AssertionError as error:  # pragma: no cover - only on violation
+            failures += 1
+            print(f"  {geometry}: FAILED {error}")
+            continue
+        total = sum(checked.values())
+        print(f"  {geometry}: OK ({len(checked)} checks, {total} outcomes compared)")
+    for label, backend in conformance_backends():
+        if label == "python-loop":
+            continue  # uncompiled loops are far too slow for pooled grids
+        for fused in (True, False):
+            mode = "fused" if fused else "per-cell"
+            try:
+                cells = assert_worker_parity(geometries, backend, fused=fused)
+            except AssertionError as error:  # pragma: no cover - only on violation
+                failures += 1
+                print(f"  workers[{label},{mode}]: FAILED {error}")
+                continue
+            print(
+                f"  workers[{label},{mode}]: OK ({cells} cells across workers {WORKER_COUNTS})"
+            )
+    if failures:
+        print(f"conformance: {failures} geometry/dispatch group(s) FAILED")
+        return 1
+    print("conformance: all registered specs agree with their scalar oracles")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

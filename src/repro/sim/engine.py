@@ -14,13 +14,15 @@ The batch kernels are exact replicas of the scalar routing rules — same
 next-hop choice, same tie-breaking, same hop budget — so for any pair the
 batch engine reports the identical ``(succeeded, hops, FailureReason)``
 triple that :meth:`Overlay.route` would.  The scalar path is kept as the
-oracle; ``tests/test_engine.py`` property-tests the agreement pair-for-pair
-on all five overlays.
+oracle; the conformance harness (:mod:`repro.sim.conformance`) property-
+tests the agreement pair-for-pair on every registered overlay geometry.
 
-The kernels themselves live behind the pluggable backend registry
-(:mod:`repro.sim.backends`): the vectorized NumPy kernels are the reference
-backend, and a JIT-compiled backend (Numba, optional ``.[fast]`` extra)
-routes each pair in one compiled per-pair loop.  Every entry point takes a
+Each geometry's batch routing step is declared exactly once, as a
+:class:`~repro.sim.kernelspec.KernelSpec` registered next to its scalar
+oracle; the pluggable backends (:mod:`repro.sim.backends`) are thin
+executors of those specs — the vectorized NumPy executor is always
+available, and a JIT executor (Numba, optional ``.[fast]`` extra) compiles
+the same spec bodies into per-pair loops.  Every entry point takes a
 ``backend`` argument (``"auto"`` — the default — selects the fastest
 available); backend choice can never change a measured number, because all
 backends are property-tested bit-identical to the scalar oracle.
@@ -301,6 +303,10 @@ def route_pairs(
     (:func:`repro.sim.backends.resolve_backend`); every backend produces
     bit-identical outcomes, so the choice only affects speed.
 
+    A single mask is a stack of one: this entry point only validates its
+    arguments and hands the mask to the same :func:`_dispatch_stack` driver
+    the fused multi-cell path runs on.
+
     Raises
     ------
     RoutingError
@@ -312,10 +318,14 @@ def route_pairs(
     if batch_size is not None:
         batch_size = check_positive_int(batch_size, "batch_size")
     sources, destinations, alive = _check_batch_arguments(overlay, sources, destinations, alive)
-    return _wrap_outcome(
+    return _dispatch_stack(
+        overlay,
+        resolved,
         sources,
         destinations,
-        resolved.route(overlay, sources, destinations, alive, batch_size=batch_size),
+        alive[np.newaxis, :],
+        np.zeros(0, dtype=np.int64),  # unused for a single-cell stack
+        batch_size,
     )
 
 
@@ -412,9 +422,32 @@ def route_pairs_stacked(
     sources, destinations, alive_stack, cell_indices = _check_stacked_arguments(
         overlay, sources, destinations, alive_stack, cell_indices
     )
+    return _dispatch_stack(
+        overlay, resolved, sources, destinations, alive_stack, cell_indices, batch_size
+    )
+
+
+def _dispatch_stack(
+    overlay: Overlay,
+    resolved: KernelBackend,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    alive_stack: np.ndarray,
+    cell_indices: np.ndarray,
+    batch_size: Optional[int],
+) -> BatchRouteOutcome:
+    """The one routing driver behind :func:`route_pairs` and
+    :func:`route_pairs_stacked` (arguments already validated).
+
+    A stack of one routes under its mask directly (no union arithmetic);
+    wider stacks route over the disjoint-union view, split into
+    bounded-width sub-unions when the union table would exceed the memory
+    cap.  Either way the kernels themselves only ever see one overlay view,
+    one flat survival vector and one batch of pairs — the execution shapes
+    differ, the code path does not.
+    """
     n_cells = alive_stack.shape[0]
     if n_cells == 1:
-        # A single cell needs no union arithmetic; route under its mask directly.
         return _wrap_outcome(
             sources,
             destinations,
@@ -432,14 +465,14 @@ def route_pairs_stacked(
         for start in range(0, n_cells, cells_per_union):
             stop = start + cells_per_union
             selected = (cell_indices >= start) & (cell_indices < stop)
-            sub_outcome = route_pairs_stacked(
+            sub_outcome = _dispatch_stack(
                 overlay,
+                resolved,
                 sources[selected],
                 destinations[selected],
                 alive_stack[start:stop],
                 cell_indices[selected] - start,
-                batch_size=batch_size,
-                backend=resolved,
+                batch_size,
             )
             succeeded[selected] = sub_outcome.succeeded
             hops[selected] = sub_outcome.hops

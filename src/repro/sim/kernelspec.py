@@ -1,0 +1,464 @@
+"""The KernelSpec layer: each routing geometry declares its hop rule **once**.
+
+Before this layer existed, every routing rule in the repository was written
+four times — the scalar :meth:`Overlay.route` oracle, the vectorized NumPy
+prepare/step kernels, the fused stacked variant, and the Numba per-pair loop
+bodies — and the ROADMAP tracked "any routing-rule change now has four
+places to update" as the dominant cost of adding a geometry.  This module
+collapses the batch side of that invariant to a single declaration:
+
+* A :class:`KernelSpec` is one geometry's routing step, written in a
+  **restricted, element-wise subset** of numpy/numba-compatible Python: the
+  spec's functions receive either scalars (the per-pair executors) or
+  arrays (the vectorized executor) and must treat them uniformly —
+  arithmetic, bit operations, comparisons, and the :class:`Ops` primitives
+  only; no data-dependent ``if``/``while``.
+* A spec's :attr:`~KernelSpec.prepare` factory runs once per
+  ``(overlay view, survival mask)`` batch and returns a :class:`SpecState`
+  of mask-dependent tables (sentinel-masked copies, aliveness bitsets) that
+  every executor shares.
+* The generic drivers in this module derive **every execution shape** from
+  the one declaration: :func:`vector_step` builds the vectorized per-hop
+  step the NumPy backend iterates (single-mask and stacked disjoint-union
+  batches alike — a single mask is just a stack of one), and
+  :func:`make_direct_pair_loop` / :func:`make_scan_pair_loop` build the
+  per-pair source-to-termination loops the Numba backend ``@njit``-compiles
+  — and which remain callable as plain Python, so the exact code Numba
+  compiles is property-tested on every CI leg.
+
+Two rule shapes cover every geometry the paper analyses (and the de Bruijn
+extension):
+
+``kind="direct"``
+    The next hop is computed directly from ``(current, destination)`` —
+    tree (correct the leftmost differing bit), hypercube (bitset
+    arithmetic), de Bruijn (shift in the next destination bit).  The spec
+    supplies ``advance(consts, arrays, alive, cur, dst) -> (next, ok)``.
+
+``kind="scan"``
+    The next hop minimises a per-neighbour key over the routing table —
+    XOR distance (Kademlia), clockwise remaining distance (Chord,
+    Symphony).  The spec supplies an element-wise ``key`` and an ``accept``
+    predicate; the *drivers* own the scan itself (vectorized ``argmin``
+    over the gathered table rows, or a running first-minimum in the
+    per-pair loop — both keep the first minimum, so tie-breaking is
+    identical by construction).
+
+With this layer in place the routing invariant has exactly **two** copies
+per geometry — the scalar oracle and the spec — property-tested against
+each other by the conformance harness (:mod:`repro.sim.conformance`) across
+every registered geometry, dispatch mode, backend, worker count and failure
+model.
+
+This module deliberately imports nothing from :mod:`repro.dht` (specs are
+registered *by* the overlay modules, next to their scalar oracles) and
+nothing from :mod:`repro.sim.backends` (executors consume specs, not the
+other way around), so a geometry module can register its spec without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, RoutingError, UnknownGeometryError
+
+__all__ = [
+    "Ops",
+    "VECTOR_OPS",
+    "SCALAR_OPS",
+    "SpecState",
+    "KernelSpec",
+    "KERNEL_SPECS",
+    "register_kernel_spec",
+    "get_kernel_spec",
+    "has_kernel_spec",
+    "registered_geometries",
+    "vector_step",
+    "make_direct_pair_loop",
+    "make_scan_pair_loop",
+    "scalar_functions",
+    "ring_modulus",
+    "distance_sentinel",
+    "FAR_KEY",
+]
+
+#: Initial "no candidate yet" key of the per-pair scan loops: strictly above
+#: every real key any spec can produce (keys are bounded by identifier-space
+#: arithmetic, far below 2^62).
+FAR_KEY = 1 << 62
+
+
+def ring_modulus(overlay) -> int:
+    """Modulus of clockwise identifier arithmetic (physical space size).
+
+    The fused disjoint-union view exposes the *physical* modulus via a
+    ``ring_modulus`` attribute; plain overlays use their node count.
+    """
+    return int(getattr(overlay, "ring_modulus", overlay.n_nodes))
+
+
+def distance_sentinel(n_nodes: int, dtype) -> int:
+    """An identifier whose XOR distance to any real identifier beats nothing.
+
+    The sentinel's set bit lies strictly above every routable identifier
+    (``n_nodes - 1``), so ``sentinel ^ dst >= n_nodes`` exceeds every real
+    same-cell distance (``< 2^d <= n_nodes``) for any destination.
+    """
+    sentinel = 1 << int(n_nodes - 1).bit_length()
+    if sentinel > np.iinfo(dtype).max // 2:  # pragma: no cover - absurdly large space
+        raise RoutingError(f"identifier space too large for a {np.dtype(dtype)} sentinel")
+    return sentinel
+
+
+# --------------------------------------------------------------------- #
+# the restricted primitive set
+# --------------------------------------------------------------------- #
+class Ops(NamedTuple):
+    """The primitives a spec body may use beyond plain element-wise arithmetic.
+
+    Two instances exist: :data:`VECTOR_OPS` (array implementations for the
+    vectorized executor) and :data:`SCALAR_OPS` (scalar implementations for
+    the per-pair executors; the exact functions the Numba backend compiles).
+    A spec function is instantiated once per executor by calling its factory
+    with the executor's ``Ops`` — same body, different primitives.
+
+    Attributes
+    ----------
+    where:
+        ``where(condition, a, b)`` — element-wise select.
+    bit_length:
+        ``bit_length(x)`` — position of the highest set bit (``0`` for 0).
+    highest_set_bit:
+        ``highest_set_bit(x)`` — ``x`` with only its highest set bit kept.
+        The value is **undefined at** ``x == 0`` (executors differ there);
+        callers must mask that case out with :attr:`where`.
+    alive:
+        ``alive(handle, index)`` — aliveness lookup in the executor's own
+        survival representation (a boolean vector for the vectorized
+        executor, bit-packed uint64 words for the per-pair executors).
+    """
+
+    where: Callable
+    bit_length: Callable
+    highest_set_bit: Callable
+    alive: Callable
+
+
+def _vector_where(condition, a, b):
+    return np.where(condition, a, b)
+
+
+def _vector_bit_length(x):
+    # np.frexp returns the exponent e with x = m * 2^e, m in [0.5, 1) —
+    # exactly bit_length(x) for positive integers; exact for x < 2^53, far
+    # beyond any overlay that fits in memory.
+    return np.frexp(x.astype(np.float64))[1]
+
+
+def _vector_highest_set_bit(x):
+    # Undefined at x == 0 (the clamp makes it report bit 0); callers mask.
+    exponent = np.frexp(x.astype(np.float64))[1]
+    one = x.dtype.type(1)
+    return np.left_shift(one, np.maximum(exponent, 1).astype(x.dtype) - one)
+
+
+def _vector_alive(mask, index):
+    return mask[index]
+
+
+def _scalar_where(condition, a, b):
+    if condition:
+        return a
+    return b
+
+
+def _scalar_bit_length(x):
+    length = 0
+    while x != 0:
+        x >>= 1
+        length += 1
+    return length
+
+
+def _scalar_highest_set_bit(x):
+    bit = x
+    while bit & (bit - 1) != 0:
+        bit &= bit - 1
+    return bit
+
+
+def _scalar_alive(words, index):
+    return (words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1) != np.uint64(0)
+
+
+#: Array primitives for the vectorized executor.
+VECTOR_OPS = Ops(
+    where=_vector_where,
+    bit_length=_vector_bit_length,
+    highest_set_bit=_vector_highest_set_bit,
+    alive=_vector_alive,
+)
+
+#: Scalar primitives for the per-pair executors — plain Python functions a
+#: Numba executor wraps with ``njit`` unchanged, so the compiled primitives
+#: are the ones the no-numba parity legs already exercised.
+SCALAR_OPS = Ops(
+    where=_scalar_where,
+    bit_length=_scalar_bit_length,
+    highest_set_bit=_scalar_highest_set_bit,
+    alive=_scalar_alive,
+)
+
+
+# --------------------------------------------------------------------- #
+# spec + registry
+# --------------------------------------------------------------------- #
+class SpecState(NamedTuple):
+    """The mask-dependent routing state one :attr:`KernelSpec.prepare` builds.
+
+    ``table`` is the neighbour table a scan-kind spec minimises over (with
+    dead entries already rewritten so no per-hop aliveness pass is needed);
+    direct-kind specs set it to ``None`` and carry any tables in ``arrays``.
+    ``consts`` is a tuple of plain ints and ``arrays`` a tuple of ndarrays;
+    both are forwarded verbatim to the spec's element-wise functions, which
+    index them positionally (a shape Numba compiles without boxing).
+    """
+
+    table: Optional[np.ndarray]
+    consts: Tuple[int, ...]
+    arrays: Tuple[np.ndarray, ...]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One geometry's batch routing rule, declared once and executed everywhere.
+
+    Attributes
+    ----------
+    geometry:
+        The geometry label the spec registers under (``overlay.geometry_name``).
+    kind:
+        ``"direct"`` (next hop computed from current/destination) or
+        ``"scan"`` (next hop minimises a key over the neighbour table).
+    fail_code:
+        The :data:`repro.dht.routing.FAILURE_CODES` value reported when a
+        hop cannot advance (``DEAD_END`` for scans with no usable
+        neighbour, ``REQUIRED_NEIGHBOR_FAILED`` for direct rules whose
+        single required neighbour is dead).
+    prepare:
+        ``prepare(overlay_view, alive) -> SpecState`` — the once-per-batch
+        factory.  ``overlay_view`` is anything exposing ``geometry_name``,
+        ``d``, ``n_nodes``, ``neighbor_array()`` and ``hop_limit()`` (a
+        physical overlay, a shared-memory view, or the fused disjoint-union
+        view); ``alive`` is the flat survival vector.  Derived tables must
+        be marked read-only (``setflags(write=False)``).
+    advance:
+        Direct kind only: ``advance(ops) -> fn(consts, arrays, alive, cur,
+        dst) -> (next, ok)``, element-wise.
+    key:
+        Scan kind only: ``key(ops) -> fn(consts, neighbor, cur, dst) ->
+        key``, element-wise; smaller is better, unusable candidates must
+        map to a key the ``accept`` predicate rejects.  Tie-breaking is
+        owned by the drivers (first minimum) and must therefore be
+        immaterial: equal keys must imply the same neighbour identifier.
+    accept:
+        Scan kind only: ``accept(ops) -> fn(consts, best_key, cur, dst) ->
+        ok``, element-wise verdict on the winning candidate.
+    """
+
+    geometry: str
+    kind: str
+    fail_code: int
+    prepare: Callable
+    advance: Optional[Callable] = None
+    key: Optional[Callable] = None
+    accept: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if not self.geometry:
+            raise InvalidParameterError("a KernelSpec must name its geometry")
+        if self.kind not in ("direct", "scan"):
+            raise InvalidParameterError(
+                f"unknown KernelSpec kind {self.kind!r}; expected 'direct' or 'scan'"
+            )
+        if self.kind == "direct" and self.advance is None:
+            raise InvalidParameterError(f"direct spec {self.geometry!r} must define advance")
+        if self.kind == "scan" and (self.key is None or self.accept is None):
+            raise InvalidParameterError(f"scan spec {self.geometry!r} must define key and accept")
+
+
+#: Registered specs, keyed by geometry label.  Populated by the overlay
+#: modules in :mod:`repro.dht` (each registers its spec next to its scalar
+#: oracle) — import :mod:`repro.dht` to fill it.
+KERNEL_SPECS: Dict[str, KernelSpec] = {}
+
+
+def register_kernel_spec(spec: KernelSpec) -> KernelSpec:
+    """Add ``spec`` to the registry under its geometry label."""
+    if spec.geometry in KERNEL_SPECS:
+        raise InvalidParameterError(f"kernel spec {spec.geometry!r} is already registered")
+    KERNEL_SPECS[spec.geometry] = spec
+    return spec
+
+
+def get_kernel_spec(geometry: str) -> KernelSpec:
+    """The registered spec for ``geometry``, or a clear error."""
+    try:
+        return KERNEL_SPECS[geometry]
+    except KeyError as exc:
+        raise UnknownGeometryError(
+            f"no kernel spec for geometry {geometry!r}; "
+            f"expected one of {sorted(KERNEL_SPECS)}"
+        ) from exc
+
+
+def has_kernel_spec(geometry: str) -> bool:
+    """Whether a spec is registered for ``geometry``."""
+    return geometry in KERNEL_SPECS
+
+
+def registered_geometries() -> Tuple[str, ...]:
+    """Registered geometry labels in a stable (sorted) order."""
+    return tuple(sorted(KERNEL_SPECS))
+
+
+# --------------------------------------------------------------------- #
+# derived execution shapes
+# --------------------------------------------------------------------- #
+@lru_cache(maxsize=None)
+def _vector_functions(spec: KernelSpec):
+    """The spec's element-wise functions instantiated with the array primitives."""
+    if spec.kind == "direct":
+        return (spec.advance(VECTOR_OPS),)
+    return (spec.key(VECTOR_OPS), spec.accept(VECTOR_OPS))
+
+
+@lru_cache(maxsize=None)
+def scalar_functions(spec: KernelSpec):
+    """The spec's element-wise functions instantiated with the scalar primitives.
+
+    Returns ``(advance,)`` for direct specs and ``(key, accept)`` for scan
+    specs — the exact function objects a Numba executor compiles, kept
+    callable as plain Python for the uncompiled parity legs.
+    """
+    if spec.kind == "direct":
+        return (spec.advance(SCALAR_OPS),)
+    return (spec.key(SCALAR_OPS), spec.accept(SCALAR_OPS))
+
+
+def vector_step(spec: KernelSpec, state: SpecState, alive: np.ndarray):
+    """The vectorized per-hop step ``(cur, dst) -> (next, ok, fail_code)``.
+
+    This is the one assembly point for the NumPy executor: direct specs run
+    their ``advance`` body element-wise over the active batch; scan specs
+    gather their (mask-rewritten) table rows, evaluate the key over the
+    ``(batch, degree)`` candidate matrix by broadcasting, and take the
+    per-row ``argmin`` (first minimum — the same tie-break as the per-pair
+    loops' running minimum).
+    """
+    if spec.kind == "direct":
+        (advance,) = _vector_functions(spec)
+        consts, arrays = state.consts, state.arrays
+
+        def step(cur: np.ndarray, dst: np.ndarray):
+            next_hop, ok = advance(consts, arrays, alive, cur, dst)
+            return next_hop, ok, spec.fail_code
+
+        return step
+
+    key, accept = _vector_functions(spec)
+    table = state.table
+    consts = state.consts
+
+    def step(cur: np.ndarray, dst: np.ndarray):
+        neighbors = table[cur]  # (batch, degree)
+        keys = key(consts, neighbors, cur[:, None], dst[:, None])
+        best = keys.argmin(axis=1)
+        rows = np.arange(cur.size)
+        ok = accept(consts, keys[rows, best], cur, dst)
+        return neighbors[rows, best], ok, spec.fail_code
+
+    return step
+
+
+def make_direct_pair_loop(advance, hop_limit_code: int, fail_code: int):
+    """The per-pair hop loop for a direct-kind spec.
+
+    Routes every pair from source to termination with the exact scalar-
+    oracle bookkeeping: ``hops`` counts forwarding steps actually taken
+    (the failed hop of a dropped message is not counted) and the hop budget
+    is checked before every forwarding step.  The returned function is
+    plain Python; a Numba executor compiles it (with ``advance`` already
+    compiled), the parity harness calls it directly.
+    """
+
+    def pair_loop(consts, arrays, alive, sources, destinations, hop_limit, succeeded, hops, codes):
+        for p in range(sources.shape[0]):
+            cur = sources[p]
+            dst = destinations[p]
+            hop = 0
+            while True:
+                if hop >= hop_limit:
+                    codes[p] = hop_limit_code
+                    hops[p] = hop
+                    break
+                next_hop, ok = advance(consts, arrays, alive, cur, dst)
+                if not ok:
+                    codes[p] = fail_code
+                    hops[p] = hop  # the failed hop is not counted
+                    break
+                cur = next_hop
+                if cur == dst:
+                    succeeded[p] = True
+                    hops[p] = hop + 1
+                    break
+                hop += 1
+
+    return pair_loop
+
+
+def make_scan_pair_loop(key, accept, hop_limit_code: int, fail_code: int):
+    """The per-pair hop loop for a scan-kind spec.
+
+    The inner neighbour scan keeps a running strict minimum — the first
+    minimum, matching the vectorized driver's ``argmin`` — so both
+    executors make the identical choice even among equal keys (which specs
+    guarantee name the same neighbour).
+    """
+
+    def pair_loop(table, consts, sources, destinations, hop_limit, succeeded, hops, codes):
+        degree = table.shape[1]
+        for p in range(sources.shape[0]):
+            cur = sources[p]
+            dst = destinations[p]
+            hop = 0
+            while True:
+                if hop >= hop_limit:
+                    codes[p] = hop_limit_code
+                    hops[p] = hop
+                    break
+                best_key = FAR_KEY
+                best_neighbor = cur
+                for column in range(degree):
+                    neighbor = table[cur, column]
+                    candidate = key(consts, neighbor, cur, dst)
+                    if candidate < best_key:
+                        best_key = candidate
+                        best_neighbor = neighbor
+                if not accept(consts, best_key, cur, dst):
+                    codes[p] = fail_code
+                    hops[p] = hop  # the failed hop is not counted
+                    break
+                cur = best_neighbor
+                if cur == dst:
+                    succeeded[p] = True
+                    hops[p] = hop + 1
+                    break
+                hop += 1
+
+    return pair_loop

@@ -5,16 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dht import (
-    ChordOverlay,
-    HypercubeOverlay,
-    KademliaOverlay,
-    PlaxtonOverlay,
-    SymphonyOverlay,
-)
+from repro.dht import OVERLAY_CLASSES
 
-#: Geometry label -> overlay class, small enough to build in every test.
+#: Identifier length shared by the per-geometry fixtures (64-node overlays).
 SMALL_D = 6
+
+#: Every registered overlay geometry, in registration order (the paper's five
+#: plus extensions such as debruijn).  Auto-discovered so new geometries get
+#: the whole parametrised suite for free.
+ALL_GEOMETRIES = tuple(OVERLAY_CLASSES)
 
 
 @pytest.fixture
@@ -25,18 +24,15 @@ def rng():
 
 @pytest.fixture(scope="session")
 def small_overlays():
-    """One small (d=6, 64-node) overlay per geometry, built once per session."""
+    """One small (d=6, 64-node) overlay per registered geometry, built once per session."""
     seed = 2006
     return {
-        "tree": PlaxtonOverlay.build(SMALL_D, seed=seed),
-        "hypercube": HypercubeOverlay.build(SMALL_D),
-        "xor": KademliaOverlay.build(SMALL_D, seed=seed),
-        "ring": ChordOverlay.build(SMALL_D, seed=seed),
-        "smallworld": SymphonyOverlay.build(SMALL_D, seed=seed),
+        geometry: cls.build(SMALL_D, seed=seed)
+        for geometry, cls in OVERLAY_CLASSES.items()
     }
 
 
-@pytest.fixture(params=["tree", "hypercube", "xor", "ring", "smallworld"])
+@pytest.fixture(params=ALL_GEOMETRIES)
 def geometry_name(request):
-    """Parametrised fixture yielding each paper geometry label."""
+    """Parametrised fixture yielding each registered overlay geometry label."""
     return request.param

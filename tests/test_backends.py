@@ -1,24 +1,23 @@
-"""Tests for the pluggable kernel-backend subsystem.
+"""Tests for the pluggable kernel-backend subsystem (registry + executors).
 
-Backend parity is the fourth copy of the routing invariant: every backend
-must agree **bit-for-bit, pair-for-pair** (success, hops, failure reason)
-with the per-cell NumPy path and hence with the scalar ``Overlay.route``
-oracle.  The JIT backend's loop bodies are plain Python functions compiled
-by Numba when it is installed; here they are exercised both ways — the
-uncompiled loops always (so the exact code Numba compiles is verified on
-every environment), the compiled loops whenever Numba is importable.
+Since the KernelSpec refactor the backends contain no routing rules; the
+scalar-vs-spec parity property tests live in ``tests/test_kernelspec.py``,
+driven by the auto-discovering conformance harness
+(:mod:`repro.sim.conformance`).  What remains here is the registry
+behaviour (resolution, graceful fallback — warned once per process — and
+live choices), the shared table-freezing discipline, and the SweepRunner
+integration (workers inherit the resolved backend, profiles accumulate).
 """
 
 from __future__ import annotations
 
 import math
-import zlib
 
 import numpy as np
 import pytest
 
-from repro.dht.failures import FAILURE_MODEL_KINDS, make_failure_model, survival_mask
 from repro.exceptions import InvalidParameterError, UnknownGeometryError
+from repro.sim import backends as backends_module
 from repro.sim.backends import (
     BACKEND_CHOICES,
     NUMBA_AVAILABLE,
@@ -31,40 +30,19 @@ from repro.sim.backends import (
     resolve_backend,
 )
 from repro.sim.backends.base import pack_alive_words
+from repro.sim.conformance import conformance_backends
 from repro.sim.engine import (
     PROFILE_PHASES,
     SweepRunner,
-    route_pairs,
-    route_pairs_stacked,
 )
-from repro.sim.sampling import sample_survivor_pair_arrays
-from repro.sim.static_resilience import measure_routability
 
 from conftest import SMALL_D
 
 
 def all_backends():
     """Every backend implementation testable in this environment."""
-    backends = [NumpyBackend(), python_loop_backend()]
-    if NUMBA_AVAILABLE:
-        backends.append(resolve_backend("numba"))
-    return backends
-
-
-def backend_ids():
-    names = ["numpy", "python-loop"]
-    if NUMBA_AVAILABLE:
-        names.append("numba-jit")
-    return names
-
-
-def sampled_batch(overlay, q, count, seed):
-    rng = np.random.default_rng(seed)
-    alive = survival_mask(overlay.n_nodes, q, rng)
-    if int(alive.sum()) < 2:
-        pytest.skip(f"degenerate pattern at q={q}")
-    sources, destinations = sample_survivor_pair_arrays(alive, count, rng)
-    return alive, sources, destinations
+    return [resolve_backend(backend) if isinstance(backend, str) else backend
+            for _, backend in conformance_backends()]
 
 
 class TestRegistry:
@@ -74,8 +52,12 @@ class TestRegistry:
     def test_available_backends_match_numba_importability(self):
         assert ("numba" in available_backends()) == NUMBA_AVAILABLE
 
-    def test_backend_choices_cover_the_registry(self):
-        assert set(available_backends()) <= set(BACKEND_CHOICES)
+    def test_backend_choices_come_from_the_live_registry(self):
+        # "auto" plus every registered backend, importable or not — the CLI
+        # help and validation read this, so it must track the registry.
+        assert BACKEND_CHOICES[0] == "auto"
+        assert set(available_backends()) <= set(BACKEND_CHOICES[1:])
+        assert set(BACKEND_CHOICES[1:]) == set(backends_module._BACKEND_REGISTRY)
 
     def test_resolve_auto_prefers_the_fastest_available(self):
         resolved = resolve_backend("auto")
@@ -94,12 +76,6 @@ class TestRegistry:
             resolve_backend("cuda")
         with pytest.raises(InvalidParameterError):
             check_backend("scalar")
-
-    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="only meaningful without Numba")
-    def test_numba_request_without_numba_falls_back_to_numpy(self):
-        with pytest.warns(RuntimeWarning, match="falling back to the numpy backend"):
-            resolved = resolve_backend("numba")
-        assert resolved.name == "numpy"
 
     def test_scalar_engine_ignores_the_backend_without_warning(self, small_overlays):
         # The scalar oracle path uses no kernel backend; a pinned backend
@@ -138,6 +114,31 @@ class TestRegistry:
                 backend.route(FakeOverlay(), np.array([0]), np.array([1]), alive)
 
 
+@pytest.mark.skipif(NUMBA_AVAILABLE, reason="only meaningful without Numba")
+class TestFallbackWarning:
+    """Requesting numba without Numba warns — once per process, not per resolve."""
+
+    def test_numba_request_without_numba_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setattr(backends_module, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy backend"):
+            resolved = resolve_backend("numba")
+        assert resolved.name == "numpy"
+
+    def test_fallback_warns_once_per_process(self, monkeypatch):
+        # A SweepRunner construction plus every worker-spec resolution all
+        # funnel through resolve_backend; only the first may warn.
+        import warnings
+
+        monkeypatch.setattr(backends_module, "_FALLBACK_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                assert resolve_backend("numba").name == "numpy"
+        relevant = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "once per process" in str(relevant[0].message)
+
+
 class TestAliveWordPacking:
     @pytest.mark.parametrize("size", [1, 63, 64, 65, 200])
     def test_packed_bits_roundtrip(self, size):
@@ -154,90 +155,8 @@ class TestAliveWordPacking:
             assert (int(words[i >> 6]) >> (i & 63)) & 1 == 0
 
 
-class TestBackendParity:
-    """Every backend agrees bit-for-bit with the scalar oracle and each other."""
-
-    @pytest.mark.parametrize("q", [0.0, 0.3, 0.6])
-    def test_backends_match_scalar_oracle_pair_for_pair(self, small_overlays, geometry_name, q):
-        overlay = small_overlays[geometry_name]
-        # crc32, not hash(): the sampled batch must not vary with
-        # PYTHONHASHSEED, or a parity failure would be unreproducible.
-        seed = zlib.crc32(f"backends-{geometry_name}-{q}".encode("utf-8"))
-        alive, sources, destinations = sampled_batch(overlay, q, 120, seed=seed)
-        outcomes = {
-            backend.name + str(i): route_pairs(
-                overlay, sources, destinations, alive, backend=backend
-            )
-            for i, backend in enumerate(all_backends())
-        }
-        oracle = [
-            overlay.route(int(source), int(destination), alive)
-            for source, destination in zip(sources.tolist(), destinations.tolist())
-        ]
-        for label, outcome in outcomes.items():
-            for i, route in enumerate(oracle):
-                assert bool(outcome.succeeded[i]) == route.succeeded, (label, i)
-                assert int(outcome.hops[i]) == route.hops, (label, i)
-                assert outcome.failure_reason(i) is route.failure_reason, (label, i)
-
-    def test_backends_match_on_stacked_multi_cell_batches(self, small_overlays, geometry_name):
-        overlay = small_overlays[geometry_name]
-        rng = np.random.default_rng(97)
-        masks, sources, destinations = [], [], []
-        for q in (0.0, 0.25, 0.55):
-            alive = survival_mask(overlay.n_nodes, q, rng)
-            if int(alive.sum()) < 2:
-                continue
-            src, dst = sample_survivor_pair_arrays(alive, 80, rng)
-            masks.append(alive)
-            sources.append(src)
-            destinations.append(dst)
-        arguments = (
-            np.concatenate(sources),
-            np.concatenate(destinations),
-            np.stack(masks),
-            np.repeat(np.arange(len(masks), dtype=np.int64), 80),
-        )
-        reference = route_pairs_stacked(overlay, *arguments, backend="numpy")
-        for backend in all_backends():
-            outcome = route_pairs_stacked(overlay, *arguments, backend=backend)
-            chunked = route_pairs_stacked(overlay, *arguments, backend=backend, batch_size=29)
-            for label, candidate in ((backend.name, outcome), (f"{backend.name}+chunk", chunked)):
-                assert np.array_equal(reference.succeeded, candidate.succeeded), label
-                assert np.array_equal(reference.hops, candidate.hops), label
-                assert np.array_equal(reference.failure_codes, candidate.failure_codes), label
-
-    def test_hop_limit_exhaustion_is_identical_across_backends(self, small_overlays):
-        # Force the budget to bite: a tiny hop limit makes long ring walks
-        # exhaust it, exercising the HOP_LIMIT_EXCEEDED bookkeeping.
-        overlay = small_overlays["ring"]
-        alive = np.ones(overlay.n_nodes, dtype=bool)
-        sources = np.arange(0, 32, dtype=np.int64)
-        destinations = (sources + overlay.n_nodes // 2) % overlay.n_nodes
-
-        class Limited:
-            def __getattr__(self, item):
-                return getattr(overlay, item)
-
-            def hop_limit(self):
-                return 2
-
-        limited = Limited()
-        reference = route_pairs(limited, sources, destinations, alive, backend="numpy")
-        for backend in all_backends():
-            outcome = route_pairs(limited, sources, destinations, alive, backend=backend)
-            assert np.array_equal(reference.succeeded, outcome.succeeded), backend.name
-            assert np.array_equal(reference.hops, outcome.hops), backend.name
-            assert np.array_equal(reference.failure_codes, outcome.failure_codes), backend.name
-        # The tiny budget must actually bite so the parity above covered the
-        # HOP_LIMIT_EXCEEDED branch of every backend.
-        from repro.sim.backends.base import HOP_LIMIT_CODE
-
-        assert (reference.failure_codes == HOP_LIMIT_CODE).any()
-
-
 class TestReadOnlyTables:
-    """Shared routing tables must reject writes (regression for satellite 1)."""
+    """Shared routing tables must reject writes."""
 
     def test_neighbor_array_is_read_only(self, small_overlays, geometry_name):
         table = small_overlays[geometry_name].neighbor_array()
@@ -254,30 +173,6 @@ class TestReadOnlyTables:
         with pytest.raises(ValueError):
             table[0, 0] = 0
 
-    def test_prepared_mask_tables_are_read_only(self, small_overlays, geometry_name):
-        # The numpy kernel factories derive sentinel-masked / bitset tables
-        # shared across every hop of a batch; they must be frozen too.
-        from repro.sim.backends import numpy_backend as module
-
-        overlay = small_overlays[geometry_name]
-        alive = survival_mask(overlay.n_nodes, 0.3, np.random.default_rng(5))
-        factory = module.geometry_step_factory(overlay)
-        step = factory(overlay, alive)
-        derived = [
-            cell.cell_contents
-            for cell in (step.__closure__ or [])
-            if isinstance(cell.cell_contents, np.ndarray) and cell.cell_contents.ndim >= 1
-        ]
-        frozen = [
-            array
-            for array in derived
-            # alive itself stays writable (caller-owned); derived tables not.
-            if array is not alive
-        ]
-        assert frozen, "expected the factory to close over derived tables"
-        for array in frozen:
-            assert not array.flags.writeable
-
 
 class TestSweepRunnerBackends:
     def test_backend_name_is_exposed_and_resolved(self):
@@ -290,36 +185,6 @@ class TestSweepRunnerBackends:
         with SweepRunner(pairs=30, replicates=1, workers=1, base_seed=7) as runner:
             sweep = runner.sweep("xor", SMALL_D, [0.2])
         assert sweep.backend_name == runner.backend_name
-
-    @pytest.mark.parametrize("workers", [1, 3])
-    def test_backends_measure_identical_sweeps(self, workers):
-        grids = {}
-        for backend in ["numpy", python_loop_backend()] + (["numba"] if NUMBA_AVAILABLE else []):
-            # The python-loop backend cannot be dispatched to workers (it is
-            # not a registry name); run it in-process.
-            runner_workers = workers if isinstance(backend, str) else 1
-            with SweepRunner(
-                pairs=40,
-                replicates=2,
-                workers=runner_workers,
-                base_seed=321,
-                backend=backend,
-            ) as runner:
-                grids[str(backend)] = runner.run(
-                    ["tree", "ring"], SMALL_D, [0.1, 0.5]
-                )
-        reference = grids.pop("numpy")
-        for label, grid in grids.items():
-            assert grid.keys() == reference.keys(), label
-            for cell, expected in reference.items():
-                measured = grid[cell].metrics
-                assert measured.attempts == expected.metrics.attempts, (label, cell)
-                assert measured.successes == expected.metrics.successes, (label, cell)
-                assert measured.failure_reasons == expected.metrics.failure_reasons, (label, cell)
-                for field in ("mean_hops_successful", "mean_hops_failed"):
-                    a = getattr(measured, field)
-                    b = getattr(expected.metrics, field)
-                    assert a == b or (math.isnan(a) and math.isnan(b)), (label, cell, field)
 
     def test_workers_inherit_the_backend(self):
         # Worker specs carry the resolved backend name; a pooled run must
@@ -334,6 +199,25 @@ class TestSweepRunnerBackends:
             solo_grid = solo.run(["hypercube"], SMALL_D, [0.2, 0.6])
         for cell in solo_grid:
             assert pooled_grid[cell].metrics.successes == solo_grid[cell].metrics.successes
+
+    def test_custom_backend_instance_runs_in_process(self):
+        # A non-registry instance (the uncompiled loops) is dispatchable too.
+        with SweepRunner(
+            pairs=20, replicates=1, workers=1, base_seed=5, backend=python_loop_backend()
+        ) as runner:
+            with SweepRunner(
+                pairs=20, replicates=1, workers=1, base_seed=5, backend="numpy"
+            ) as reference:
+                loop_grid = runner.run(["tree"], SMALL_D, [0.3])
+                numpy_grid = reference.run(["tree"], SMALL_D, [0.3])
+        for cell in numpy_grid:
+            measured, expected = loop_grid[cell].metrics, numpy_grid[cell].metrics
+            assert measured.attempts == expected.attempts
+            assert measured.successes == expected.successes
+            assert measured.failure_reasons == expected.failure_reasons
+            for field in ("mean_hops_successful", "mean_hops_failed"):
+                a, b = getattr(measured, field), getattr(expected, field)
+                assert a == b or (math.isnan(a) and math.isnan(b)), field
 
 
 class TestProfile:
@@ -368,29 +252,3 @@ class TestProfile:
             first = runner.profile
             runner.sweep("ring", SMALL_D, [0.2])  # fully memoized
             assert runner.profile == first
-
-
-class TestFailureModelBackendParity:
-    """Non-uniform failure models measure bit-identical metrics on every
-    backend: masks are generated before the kernels run, so backend choice
-    must stay invisible across the whole scenario library."""
-
-    @pytest.mark.parametrize("kind", FAILURE_MODEL_KINDS)
-    def test_measurement_is_backend_invariant(self, small_overlays, kind):
-        overlay = small_overlays["xor"]
-        results = [
-            measure_routability(
-                overlay, 0.35, pairs=80, trials=2, seed=29,
-                failure_model=make_failure_model(kind, 0.35),
-                engine="batch", backend=backend,
-            )
-            for backend in all_backends()
-        ]
-        reference = results[0].metrics
-        for result in results[1:]:
-            assert result.metrics.attempts == reference.attempts
-            assert result.metrics.successes == reference.successes
-            assert result.metrics.failure_reasons == reference.failure_reasons
-            for field in ("mean_hops_successful", "mean_hops_failed"):
-                a, b = getattr(result.metrics, field), getattr(reference, field)
-                assert a == b or (math.isnan(a) and math.isnan(b)), field

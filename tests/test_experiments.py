@@ -253,21 +253,27 @@ class TestFailureModes:
             "failed_path_percent_regional",
             "model_comparison_at_reference_severity",
         }
+        from repro.experiments.failure_modes import FAILMODE_GEOMETRIES
+
         for name in ("uniform", "targeted", "regional"):
             rows = result.table(f"failed_path_percent_{name}")
-            assert set(rows[0]) == {"severity", "tree", "hypercube", "xor", "ring", "smallworld"}
+            assert set(rows[0]) == {"severity", *FAILMODE_GEOMETRIES}
 
     def test_no_failures_means_no_failed_paths_under_every_model(self, results):
+        from repro.experiments.failure_modes import FAILMODE_GEOMETRIES
+
         for name in ("uniform", "targeted", "regional"):
             row = results["EXT-FAILMODES"].table(f"failed_path_percent_{name}")[0]
             assert row["severity"] == 0.0
-            for geometry in ("tree", "hypercube", "xor", "ring", "smallworld"):
+            for geometry in FAILMODE_GEOMETRIES:
                 assert row[geometry] == pytest.approx(0.0)
 
     def test_values_are_percentages_or_missing(self, results):
+        from repro.experiments.failure_modes import FAILMODE_GEOMETRIES
+
         for name in ("uniform", "targeted", "regional"):
             for row in results["EXT-FAILMODES"].table(f"failed_path_percent_{name}"):
-                for geometry in ("tree", "hypercube", "xor", "ring", "smallworld"):
+                for geometry in FAILMODE_GEOMETRIES:
                     value = row[geometry]
                     assert value is None or (
                         0.0 <= value <= 100.0 and not math.isnan(value)

@@ -17,8 +17,15 @@ def all_alive(overlay):
 
 
 class TestRegistry:
-    def test_five_overlays_registered(self):
-        assert set(OVERLAY_CLASSES) == {"tree", "hypercube", "xor", "ring", "smallworld"}
+    def test_all_overlays_registered(self):
+        assert set(OVERLAY_CLASSES) == {
+            "tree",
+            "hypercube",
+            "xor",
+            "ring",
+            "smallworld",
+            "debruijn",
+        }
 
     def test_geometry_and_system_names_set(self):
         for name, cls in OVERLAY_CLASSES.items():

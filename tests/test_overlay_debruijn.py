@@ -1,0 +1,154 @@
+"""Tests for the de Bruijn shuffle-exchange geometry (overlay + analytical model).
+
+The generic behaviour — oracle/spec parity across backends, dispatch modes,
+failure models and worker counts — comes for free from the auto-discovering
+conformance suite (``tests/test_kernelspec.py``) and the shared overlay
+suite (``tests/test_overlay_common.py``); this module covers what is
+specific to de Bruijn routing: the shuffle-successor wiring, the
+suffix-prefix-overlap rule, and the Koorde analytical model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometries.debruijn import DeBruijnGeometry
+from repro.core.geometry import get_geometry
+from repro.dht import FailureReason
+from repro.dht.debruijn import DeBruijnOverlay, suffix_prefix_overlap
+
+from conftest import SMALL_D
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return DeBruijnOverlay.build(SMALL_D)
+
+
+def all_alive(overlay):
+    return np.ones(overlay.n_nodes, dtype=bool)
+
+
+class TestTopology:
+    def test_out_degree_is_two(self, overlay):
+        for node in range(overlay.n_nodes):
+            assert len(overlay.neighbors(node)) == 2
+
+    def test_neighbors_are_shuffle_successors(self, overlay):
+        mask = overlay.n_nodes - 1
+        for node in range(overlay.n_nodes):
+            even, odd = (node << 1) & mask, ((node << 1) & mask) | 1
+            expected = {even if even != node else node ^ 1, odd if odd != node else node ^ 1}
+            assert set(overlay.neighbors(node)) == expected
+
+    def test_shift_fixed_points_carry_the_exchange_link(self, overlay):
+        # 0 and 2^d - 1 are the only identifiers whose shuffle successor is
+        # themselves; their table substitutes the exchange link x ^ 1.
+        assert overlay.neighbors(0) == (1, 1)
+        last = overlay.n_nodes - 1
+        assert overlay.neighbors(last) == (last ^ 1, last ^ 1)
+
+    def test_neighbor_array_matches_neighbors(self, overlay):
+        table = overlay.neighbor_array()
+        for node in range(overlay.n_nodes):
+            assert tuple(int(v) for v in table[node]) == overlay.neighbors(node)
+
+
+class TestOverlapRule:
+    def test_overlap_bounds_and_exactness(self, overlay):
+        d = overlay.d
+        assert suffix_prefix_overlap(0b000001, 0b010000, d) == 2  # low "01" == high "01"
+        assert suffix_prefix_overlap(0b101010, 0b101011, d) == 4  # low "1010" == high "1010"
+        for x in (0, 1, 17, 63):
+            for y in (0, 5, 42, 63):
+                overlap = suffix_prefix_overlap(x, y, d)
+                assert 0 <= overlap <= d - 1
+                if overlap:
+                    assert (x & ((1 << overlap) - 1)) == (y >> (d - overlap))
+
+    def test_required_next_hop_extends_the_overlap(self, overlay):
+        d = overlay.d
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            x, y = rng.choice(overlay.n_nodes, size=2, replace=False)
+            x, y = int(x), int(y)
+            next_hop = overlay.required_next_hop(x, y)
+            assert next_hop in overlay.neighbors(x)
+            if next_hop != y:
+                assert suffix_prefix_overlap(next_hop, y, d) >= suffix_prefix_overlap(x, y, d) + 1
+
+    def test_routing_takes_at_most_d_hops(self, overlay, rng):
+        alive = all_alive(overlay)
+        for _ in range(100):
+            source, destination = rng.choice(overlay.n_nodes, size=2, replace=False)
+            result = overlay.route(int(source), int(destination), alive)
+            assert result.succeeded
+            assert result.hops <= overlay.d
+            expected = overlay.d - suffix_prefix_overlap(int(source), int(destination), overlay.d)
+            assert result.hops == expected
+
+    def test_required_neighbour_failure_drops_the_message(self, overlay):
+        alive = all_alive(overlay)
+        source, destination = 3, 40
+        first_hop = overlay.required_next_hop(source, destination)
+        assert first_hop not in (source, destination)
+        alive[first_hop] = False
+        result = overlay.route(source, destination, alive)
+        assert not result.succeeded
+        assert result.failure_reason is FailureReason.REQUIRED_NEIGHBOR_FAILED
+        assert result.hops == 0
+
+
+class TestAnalyticalModel:
+    def test_registered_with_system_alias(self):
+        assert isinstance(get_geometry("debruijn"), DeBruijnGeometry)
+        assert isinstance(get_geometry("koorde"), DeBruijnGeometry)
+
+    def test_distance_distribution_doubles_then_saturates(self):
+        geometry = DeBruijnGeometry()
+        for d in (4, 8, 12):
+            n_h = geometry.distance_distribution(d)
+            assert np.allclose(n_h[:-1], 2.0 ** np.arange(1, d))
+            assert n_h[-1] == pytest.approx(1.0)
+            # Conservation: every other node sits at exactly one distance.
+            assert n_h.sum() == pytest.approx(2**d - 1)
+
+    def test_measured_shells_match_n_h_away_from_saturation(self, overlay):
+        # Count greedy distances from one (aperiodic) root: the doubling
+        # shells n(h) = 2^h are exact until the root's suffix self-overlaps
+        # start depleting them near h = d.
+        d = overlay.d
+        counts = np.zeros(d + 1, dtype=int)
+        root = 23  # 010111: no suffix of it is one of its own prefixes
+        for other in range(overlay.n_nodes):
+            if other == root:
+                continue
+            counts[d - suffix_prefix_overlap(root, other, d)] += 1
+        assert list(counts[1:4]) == [2, 4, 8]
+        assert counts.sum() == overlay.n_nodes - 1
+
+    def test_tree_like_phase_failure_and_unscalability(self):
+        geometry = DeBruijnGeometry()
+        for m in (1, 3, 10):
+            assert geometry.phase_failure_probability(m, 0.2, 16) == 0.2
+        assert geometry.path_success_probability(5, 0.1) == pytest.approx(0.9**5)
+        verdict = geometry.scalability()
+        assert not verdict.scalable
+
+    def test_routability_decreases_with_q(self):
+        geometry = DeBruijnGeometry()
+        values = [geometry.routability(q, d=10) for q in (0.0, 0.1, 0.3, 0.6)]
+        assert values[0] == 1.0
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_analysis_tracks_simulation(self, overlay):
+        # The RCM prediction and the Monte-Carlo measurement must agree
+        # roughly (the tree-geometry bound is exact for matched phases).
+        from repro.sim.static_resilience import measure_routability
+
+        geometry = DeBruijnGeometry()
+        q = 0.15
+        measured = measure_routability(overlay, q, pairs=1500, trials=4, seed=9).routability
+        predicted = geometry.routability(q, d=overlay.d)
+        assert measured == pytest.approx(predicted, abs=0.1)
