@@ -27,13 +27,27 @@ Subcommands
     ``--profile`` additionally prints the per-phase wall-time breakdown
     (overlay build, mask generation, kernel hops, reduction), and ``--json
     PATH`` writes rows + profile + backend metadata to a strictly valid
-    JSON file (non-finite metrics serialize as ``null``).
+    JSON file (non-finite metrics serialize as ``null``).  ``--store PATH``
+    attaches the persistent result store: cells already cached there (by
+    any earlier run or a running service) are recalled without simulation,
+    and fresh cells are written back.
+``rcm serve --store sweeps.db``
+    Launch the asynchronous sweep service (see ``docs/api.md``): submit
+    sweep grids over HTTP, poll or stream job results, share one
+    persistent result cache across every request and process.  ``--dump
+    -openapi`` / ``--dump-api-markdown`` print the API reference generated
+    from the live route table instead of serving.
+
+Correctness checks are user-runnable: ``python -m repro.sim.conformance``
+executes the full oracle/KernelSpec parity battery standalone (the same
+harness CI runs) and exits non-zero on the first violation.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -42,6 +56,7 @@ from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
 from .dht import OVERLAY_CLASSES
 from .dht.failures import FAILURE_MODEL_KINDS
+from .exceptions import ResultStoreError
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
 from .sim.backends import BACKEND_CHOICES, available_backends
@@ -129,6 +144,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="also write the measured rows (plus profile and backend metadata) to a JSON file",
+    )
+    simulate_parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help=(
+            "persistent result store (SQLite file): cells cached there by any earlier "
+            "run or a running service are recalled without simulation, fresh cells are "
+            "written back (batch engine only; results are bit-identical either way)"
+        ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="launch the asynchronous sweep service (HTTP API over the batch engine)",
+        description=(
+            "Serve sweep grids over HTTP: POST /v1/sweeps returns a job id; poll "
+            "GET /v1/jobs/{id}, fetch /results, or stream /stream; /healthz and "
+            "/metrics support gateway probes and Prometheus scrapes.  Every completed "
+            "cell is cached in the persistent --store, so identical cells are never "
+            "simulated twice across requests or processes.  See docs/api.md (generated "
+            "from the live route table) for the endpoint reference."
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve_parser.add_argument("--port", type=int, default=8642, help="bind port (default: %(default)s)")
+    serve_parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default="rcm_sweeps.db",
+        help="persistent result store shared by every job (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--pairs", type=int, default=2000, help="default pairs per cell for submissions that omit it"
+    )
+    serve_parser.add_argument(
+        "--trials", type=int, default=3, help="default failure patterns per point (replicates)"
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=PairWorkload().seed, help="default base random seed"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="engine worker processes per sweep shard"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="kernel backend for the sweep engine (execution shape only; never changes results)",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=None, help="pairs routed per engine batch (bounds memory)"
+    )
+    serve_parser.add_argument(
+        "--max-jobs", type=int, default=2, help="jobs executing concurrently; further submissions queue"
+    )
+    dump = serve_parser.add_mutually_exclusive_group()
+    dump.add_argument(
+        "--dump-openapi",
+        action="store_true",
+        help="print the OpenAPI 3.0 document generated from the live route table and exit",
+    )
+    dump.add_argument(
+        "--dump-api-markdown",
+        action="store_true",
+        help="print the docs/api.md endpoint reference generated from the live route table and exit",
     )
     return parser
 
@@ -261,6 +341,11 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
     # every --workers value and both --fused/--per-cell dispatch modes.
     profile = None
     if arguments.engine == "batch":
+        cell_store = None
+        if getattr(arguments, "store", None):
+            from .service.store import ResultStore
+
+            cell_store = ResultStore.open(arguments.store)
         with SweepRunner(
             pairs=arguments.pairs,
             replicates=arguments.trials,
@@ -269,6 +354,7 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             base_seed=arguments.seed,
             fused=arguments.fused,
             backend=arguments.backend,
+            cell_store=cell_store,
         ) as runner:
             sweep = runner.sweep(
                 arguments.geometry,
@@ -277,6 +363,14 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
                 failure_model=arguments.failure_model,
             )
             profile = runner.profile
+            if cell_store is not None:
+                stats = runner.last_run_stats
+                print(
+                    f"[store] {stats.cached} of {stats.requested} cells served from "
+                    f"{arguments.store} ({stats.computed} computed)",
+                    file=sys.stderr,
+                )
+                cell_store.close()
     else:
         sweep = simulate_geometry(
             arguments.geometry,
@@ -331,26 +425,84 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
     return "\n".join(sections)
 
 
+def _command_serve(arguments: argparse.Namespace) -> Optional[str]:
+    """``rcm serve``: dump the generated API reference, or serve until interrupted."""
+    if arguments.dump_openapi or arguments.dump_api_markdown:
+        # Documentation-only paths: generated from the live route table,
+        # no store or server needed (handlers are never invoked).
+        from .service.apidocs import generate_api_markdown, generate_openapi
+        from .service.routes import build_routes
+
+        routes = build_routes(None)
+        if arguments.dump_openapi:
+            import json
+
+            return json.dumps(generate_openapi(routes), indent=2, allow_nan=False)
+        return generate_api_markdown(routes)
+
+    import asyncio
+
+    from .service.app import ServiceConfig, serve
+
+    config = ServiceConfig(
+        store_path=arguments.store,
+        host=arguments.host,
+        port=arguments.port,
+        pairs=arguments.pairs,
+        trials=arguments.trials,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        backend=arguments.backend,
+        batch_size=arguments.batch_size,
+        max_jobs=arguments.max_jobs,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operational errors with an actionable message — currently an unusable
+    persistent result store (``--store`` pointing at an unwritable path) —
+    exit with code 2 and one line on stderr instead of a traceback.
+    """
     parser = build_parser()
     arguments = parser.parse_args(list(argv) if argv is not None else None)
-    if arguments.command == "list":
-        output = _command_list()
-    elif arguments.command == "run":
-        output = _command_run(arguments)
-    elif arguments.command == "routability":
-        output = _command_routability(arguments)
-    elif arguments.command == "scalability":
-        output = _command_scalability()
-    elif arguments.command == "compare":
-        output = _command_compare(arguments)
-    elif arguments.command == "simulate":
-        output = _command_simulate(arguments)
-    else:  # pragma: no cover - argparse enforces the choices
-        parser.error(f"unknown command {arguments.command!r}")
+    try:
+        if arguments.command == "list":
+            output = _command_list()
+        elif arguments.command == "run":
+            output = _command_run(arguments)
+        elif arguments.command == "routability":
+            output = _command_routability(arguments)
+        elif arguments.command == "scalability":
+            output = _command_scalability()
+        elif arguments.command == "compare":
+            output = _command_compare(arguments)
+        elif arguments.command == "simulate":
+            output = _command_simulate(arguments)
+        elif arguments.command == "serve":
+            output = _command_serve(arguments)
+            if output is None:
+                return 0
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown command {arguments.command!r}")
+            return 2
+    except ResultStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    print(output)
+    try:
+        sys.stdout.write(output if output.endswith("\n") else output + "\n")
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe: not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush is quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
     return 0
 
 

@@ -68,6 +68,7 @@ class DeBruijnGeometry(RoutingGeometry):
         return (1.0 - q) ** h
 
     def scalability(self) -> ScalabilityVerdict:
+        """Not scalable: constant ``Q(m) = q`` terms make the reachability series diverge."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=False,

@@ -32,6 +32,7 @@ class HypercubeGeometry(RoutingGeometry):
     system_name = "CAN"
 
     def log_distance_distribution(self, d: int) -> np.ndarray:
+        """Binomial: a uniform destination differs in ``Binomial(d, 1/2)`` bits."""
         return log_binomial_distance_distribution(d)
 
     def phase_failure_probability(self, m: int, q: float, d: int) -> float:
@@ -65,6 +66,7 @@ class HypercubeGeometry(RoutingGeometry):
         return rows
 
     def scalability(self) -> ScalabilityVerdict:
+        """Scalable: the geometric ``sum_m q^m`` converges."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=True,

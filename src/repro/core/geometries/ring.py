@@ -59,6 +59,7 @@ class RingGeometry(RoutingGeometry):
         return self._max_suboptimal_hops
 
     def log_distance_distribution(self, d: int) -> np.ndarray:
+        """Log clockwise ring distance of a uniform destination."""
         return log_ring_distance_distribution(d)
 
     def phase_failure_probability(self, m: int, q: float, d: int) -> float:
@@ -82,6 +83,7 @@ class RingGeometry(RoutingGeometry):
         return min(1.0, q_to_m * geometric_mass)
 
     def scalability(self) -> ScalabilityVerdict:
+        """Scalable: ``Q_ring(m)`` decays fast enough for the series to converge."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=True,

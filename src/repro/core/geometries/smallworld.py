@@ -68,6 +68,7 @@ class SmallWorldGeometry(RoutingGeometry):
         return self._shortcuts
 
     def log_distance_distribution(self, d: int) -> np.ndarray:
+        """Log clockwise ring distance of a uniform destination (same metric as Chord)."""
         return log_ring_distance_distribution(d)
 
     def _ingredients(self, q: float, d: int) -> tuple:
@@ -125,6 +126,7 @@ class SmallWorldGeometry(RoutingGeometry):
         return min(1.0, y * total)
 
     def scalability(self) -> ScalabilityVerdict:
+        """Not scalable: ``Q_sym`` is a phase-independent positive constant."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=False,

@@ -39,6 +39,7 @@ class TreeGeometry(RoutingGeometry):
     system_name = "Plaxton"
 
     def log_distance_distribution(self, d: int) -> np.ndarray:
+        """Binomial: the prefix phase of a uniform destination is ``Binomial(d, 1/2)``-distributed."""
         return log_binomial_distance_distribution(d)
 
     def phase_failure_probability(self, m: int, q: float, d: int) -> float:
@@ -75,6 +76,7 @@ class TreeGeometry(RoutingGeometry):
         return float(min(1.0, math.exp(log_numerator - log_denominator)))
 
     def scalability(self) -> ScalabilityVerdict:
+        """Not scalable: constant ``Q(m) = q`` terms make the reachability series diverge."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=False,

@@ -35,6 +35,7 @@ class XorGeometry(RoutingGeometry):
     system_name = "Kademlia"
 
     def log_distance_distribution(self, d: int) -> np.ndarray:
+        """Binomial: a uniform destination's XOR distance has ``Binomial(d, 1/2)``-distributed phase."""
         return log_binomial_distance_distribution(d)
 
     def phase_failure_probability(self, m: int, q: float, d: int) -> float:
@@ -80,6 +81,7 @@ class XorGeometry(RoutingGeometry):
         return max(0.0, min(1.0, q_to_m * (m + correction)))
 
     def scalability(self) -> ScalabilityVerdict:
+        """Scalable: ``Q_xor(m)`` is dominated by ``m q^m`` terms, so the series converges."""
         return ScalabilityVerdict(
             geometry=self.name,
             scalable=True,

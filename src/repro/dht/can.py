@@ -60,6 +60,7 @@ class HypercubeOverlay(Overlay):
         return cls(IdentifierSpace(d))
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """The ``d`` bit-flip neighbours of ``node`` (one per dimension)."""
         node = self._space.validate(node)
         return tuple(node ^ mask for mask in self._flip_masks)
 

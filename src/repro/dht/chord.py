@@ -92,6 +92,7 @@ class ChordOverlay(Overlay):
         return int(self._tables[node, index - 1])
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """The finger table of ``node``: successors at power-of-two ring offsets."""
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 

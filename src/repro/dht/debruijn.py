@@ -95,6 +95,7 @@ class DeBruijnOverlay(Overlay):
         return shifted, shifted | 1
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """The two shuffle successors of ``node`` (exchange link at the shift fixed points)."""
         even, odd = self.shuffle_successors(node)
         # The two shift fixed points would list themselves; they carry the
         # exchange link x ^ 1 in that slot instead (never required by routing).

@@ -13,8 +13,9 @@ ring regions (:class:`RegionalFailure`), aligned identifier subtrees
 (:class:`PrefixSubtreeFailure`) and compositions (:class:`CompositeFailure`)
 — all runnable through the same measurement stack (``failure_model=`` /
 ``failure_models=`` arguments, ``rcm simulate --failure-model`` and the
-``SweepRunner`` grid).  The EXT-FAILMODES experiment compares all five
-geometries under uniform vs targeted vs regional failure; run it with
+``SweepRunner`` grid).  The EXT-FAILMODES experiment compares all six
+simulated geometries (the paper's five plus the de Bruijn extension) under
+uniform vs targeted vs regional failure; run it with
 ``rcm run EXT-FAILMODES``.
 
 Two invariants every model must honour:
@@ -181,19 +182,23 @@ class UniformNodeFailure(FailureModel):
         object.__setattr__(self, "q", check_failure_probability(self.q))
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """One survival mask: each node survives independently with probability ``1 - q``."""
         return survival_mask(n_nodes, self.q, rng)
 
     def sample_batch(self, n_nodes: int, trials: int, rng: np.random.Generator) -> np.ndarray:
-        # One (trials, n) uniform draw fills the buffer in C order — the
-        # same doubles, in the same order, as `trials` successive
-        # rng.random(n) calls, so this is stream-identical to the scalar
-        # per-trial loop.
+        """Vectorized trials: one ``(trials, n)`` uniform draw.
+
+        Filling the buffer in C order yields the same doubles, in the same
+        order, as ``trials`` successive ``rng.random(n)`` calls, so this is
+        stream-identical to the scalar per-trial loop.
+        """
         n_nodes = check_node_count(n_nodes)
         trials = check_positive_int(trials, "trials")
         return rng.random((trials, n_nodes)) >= self.q
 
     @property
     def description(self) -> str:
+        """Report label: uniform failure at this ``q``."""
         return f"uniform node failure, q={self.q:g}"
 
 
@@ -239,6 +244,7 @@ class TargetedNodeFailure(FailureModel):
         object.__setattr__(self, "_ranking_max", int(array.max()))
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Fail the top ``fraction`` of ranked nodes; deterministic, consumes no randomness."""
         n_nodes = check_node_count(n_nodes)
         ranking: np.ndarray = self._ranking_array
         if ranking.size != n_nodes:
@@ -255,13 +261,16 @@ class TargetedNodeFailure(FailureModel):
         return mask
 
     def sample_batch(self, n_nodes: int, trials: int, rng: np.random.Generator) -> np.ndarray:
-        # Deterministic model: every trial fails the same nodes and no
-        # randomness is consumed, exactly like the per-trial loop.
+        """Vectorized trials: every trial fails the same nodes, no randomness consumed.
+
+        Exactly like the per-trial loop, hence trivially stream-identical.
+        """
         trials = check_positive_int(trials, "trials")
         return np.tile(self.sample(n_nodes, rng), (trials, 1))
 
     @property
     def description(self) -> str:
+        """Report label: targeted removal of the top ranked fraction."""
         return f"targeted failure of the top {self.fraction:.0%} ranked nodes"
 
 
@@ -283,11 +292,13 @@ class DegreeTargetedFailure(FailureModel):
         object.__setattr__(self, "fraction", check_failure_probability(self.fraction))
 
     def bind(self, overlay) -> FailureModel:
+        """Derive the concrete ranking from ``overlay``'s per-node in-degrees."""
         return TargetedNodeFailure(
             fraction=self.fraction, ranking=overlay_in_degree_ranking(overlay)
         )
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Unbound models cannot sample — :meth:`bind` an overlay first."""
         raise InvalidParameterError(
             "degree-targeted failure needs an overlay ranking: call bind(overlay) first "
             "(the measurement drivers do this automatically)"
@@ -295,6 +306,7 @@ class DegreeTargetedFailure(FailureModel):
 
     @property
     def description(self) -> str:
+        """Report label: in-degree-targeted removal."""
         return f"targeted failure of the top {self.fraction:.0%} nodes by overlay in-degree"
 
 
@@ -316,6 +328,7 @@ class RegionalFailure(FailureModel):
         return int(round(self.fraction * n_nodes))
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Fail one contiguous wrapped region starting at a random offset."""
         n_nodes = check_node_count(n_nodes)
         mask = np.ones(n_nodes, dtype=bool)
         region = self._region_size(n_nodes)
@@ -327,10 +340,13 @@ class RegionalFailure(FailureModel):
         return mask
 
     def sample_batch(self, n_nodes: int, trials: int, rng: np.random.Generator) -> np.ndarray:
-        # rng.integers fills its output element-by-element from the same
-        # bit stream as successive scalar draws, so one sized draw is
-        # stream-identical to the per-trial loop (and, like the loop, a
-        # zero-size region consumes no randomness at all).
+        """Vectorized trials: one sized ``rng.integers`` draw of the region starts.
+
+        ``rng.integers`` fills its output element-by-element from the same
+        bit stream as successive scalar draws, so one sized draw is
+        stream-identical to the per-trial loop (and, like the loop, a
+        zero-size region consumes no randomness at all).
+        """
         n_nodes = check_node_count(n_nodes)
         trials = check_positive_int(trials, "trials")
         region = self._region_size(n_nodes)
@@ -344,6 +360,7 @@ class RegionalFailure(FailureModel):
 
     @property
     def description(self) -> str:
+        """Report label: contiguous identifier-region outage."""
         return f"regional failure of a contiguous {self.fraction:.0%} of the identifier ring"
 
 
@@ -371,6 +388,7 @@ class PrefixSubtreeFailure(FailureModel):
         return min(1 << int(round(math.log2(region))), n_nodes)
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Fail one size-aligned identifier block (a subtree of the identifier trie)."""
         n_nodes = check_node_count(n_nodes)
         mask = np.ones(n_nodes, dtype=bool)
         size = self._subtree_size(n_nodes)
@@ -381,7 +399,7 @@ class PrefixSubtreeFailure(FailureModel):
         return mask
 
     def sample_batch(self, n_nodes: int, trials: int, rng: np.random.Generator) -> np.ndarray:
-        # Same stream-identity argument as RegionalFailure.sample_batch.
+        """Vectorized trials: same stream-identity argument as :meth:`RegionalFailure.sample_batch`."""
         n_nodes = check_node_count(n_nodes)
         trials = check_positive_int(trials, "trials")
         masks = np.ones((trials, n_nodes), dtype=bool)
@@ -395,6 +413,7 @@ class PrefixSubtreeFailure(FailureModel):
 
     @property
     def description(self) -> str:
+        """Report label: aligned-subtree outage."""
         return (
             f"failure of one aligned identifier subtree "
             f"(~{self.fraction:.0%} of the space)"
@@ -426,6 +445,7 @@ class CompositeFailure(FailureModel):
         object.__setattr__(self, "models", models)
 
     def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """Intersect the component masks, sampling components in declaration order."""
         n_nodes = check_node_count(n_nodes)
         mask = np.ones(n_nodes, dtype=bool)
         for model in self.models:
@@ -433,10 +453,12 @@ class CompositeFailure(FailureModel):
         return mask
 
     def bind(self, overlay) -> FailureModel:
+        """Bind every component model to ``overlay``."""
         return CompositeFailure(tuple(model.bind(overlay) for model in self.models))
 
     @property
     def description(self) -> str:
+        """Report label: the components' labels joined with ``+``."""
         return " + ".join(model.description for model in self.models)
 
 

@@ -3,7 +3,7 @@
 The paper assumes every DHT fully populates a ``d``-bit identifier space
 (``N = 2^d`` nodes, one per identifier).  Identifiers are plain Python
 integers in ``[0, 2^d)``; this module supplies the distance functions and
-bit manipulations that the five routing geometries are built from:
+bit manipulations that the routing geometries are built from:
 
 * **Hamming distance** — hypercube (CAN) routing.
 * **XOR distance** — Kademlia routing.

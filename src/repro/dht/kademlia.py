@@ -80,6 +80,7 @@ class KademliaOverlay(Overlay):
         return int(self._tables[node, bucket - 1])
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """One bucket representative per differing-bit position of ``node``."""
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 

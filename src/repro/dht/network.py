@@ -1,11 +1,12 @@
-"""Overlay base class shared by the five DHT simulators.
+"""Overlay base class shared by all DHT overlay simulators.
 
 An :class:`Overlay` bundles a fully populated identifier space with the
 static routing tables of every node and knows how to route a message from a
 source to a destination given a survival mask (see
 :mod:`repro.dht.failures`).  Concrete overlays — Plaxton tree, CAN
-hypercube, Kademlia, Chord and Symphony — live in their own modules and
-implement two methods: :meth:`Overlay.neighbors` and :meth:`Overlay.route`.
+hypercube, Kademlia, Chord, Symphony and the de Bruijn (Koorde) extension
+— live in their own self-registering modules and implement two methods:
+:meth:`Overlay.neighbors` and :meth:`Overlay.route`.
 
 Routing tables are *static*: they are built once for the pristine overlay
 and are not repaired after failures, which is exactly the paper's static
@@ -110,7 +111,7 @@ class Overlay(abc.ABC):
         every kernel backend (:mod:`repro.sim.backends`) routes over, so a
         buggy kernel must fault loudly rather than silently corrupt the
         shared tables.  Only defined for overlays whose nodes all have the
-        same out-degree, which holds for all five paper geometries.
+        same out-degree, which holds for every registered geometry.
         """
         cached = getattr(self, "_neighbor_array_cache", None)
         if cached is None:
@@ -146,7 +147,7 @@ class Overlay(abc.ABC):
     def hop_limit(self) -> int:
         """Defensive per-message hop budget.
 
-        All five geometries deliver within ``O(d)`` or ``O(d^2)`` hops; the
+        Every registered geometry delivers within ``O(d)`` or ``O(d^2)`` hops; the
         budget is generous enough never to bite for correct implementations
         while still terminating a buggy routing loop.
         """

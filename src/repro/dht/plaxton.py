@@ -116,6 +116,7 @@ class PlaxtonOverlay(Overlay):
         return int(self._tables[node, position - 1])
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """One prefix-correcting entry per digit position of ``node``."""
         node = self._space.validate(node)
         return tuple(int(v) for v in self._tables[node])
 

@@ -132,6 +132,7 @@ class SymphonyOverlay(Overlay):
         return tuple(int(v) for v in self._shortcuts[node])
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
+        """``node``'s near neighbours plus its harmonic long-range shortcuts."""
         node = self._space.validate(node)
         return tuple(int(v) for v in self._near[node]) + tuple(int(v) for v in self._shortcuts[node])
 

@@ -48,5 +48,24 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class ResultStoreError(ReproError):
+    """The persistent result store could not be opened or used.
+
+    Raised by :class:`repro.service.store.ResultStore` when its backing
+    file cannot be created, read or written (missing directory, read-only
+    filesystem, schema mismatch).  The CLI turns this into a clean error
+    message and a non-zero exit code instead of a traceback.
+    """
+
+
+class ServiceError(ReproError):
+    """The sweep service was asked to do something it cannot.
+
+    Raised by the job layer (:mod:`repro.service.jobs`) for malformed
+    submissions and lifecycle misuse (e.g. fetching results of an unknown
+    job); the HTTP layer maps it onto 4xx responses.
+    """
+
+
 class ConvergenceError(ReproError):
     """A numerical convergence diagnostic could not reach a verdict."""

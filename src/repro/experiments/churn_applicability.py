@@ -38,6 +38,7 @@ class ChurnApplicability(Experiment):
     paper_reference = "Section 1 (static model's applicability to churn, left as future work)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Simulate routability under churn and compare against the static-q prediction."""
         config = config or ExperimentConfig()
         d = config.resolved_simulation_d(full_default=FULL_D, fast_default=FAST_D)
         workload = config.resolved_workload()

@@ -57,6 +57,7 @@ class FailureModeComparison(Experiment):
     paper_reference = "Extension of Figure 6 (the paper measures uniform failure only)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Sweep every geometry under each failure model across the severity grid."""
         config = config or ExperimentConfig()
         d = config.resolved_simulation_d(full_default=FULL_D, fast_default=FAST_D)
         workload = config.resolved_workload()

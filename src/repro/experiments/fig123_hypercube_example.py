@@ -74,6 +74,7 @@ class HypercubeWorkedExample(Experiment):
     paper_reference = "Figures 1-3 and Section 4.2"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Walk the worked hypercube example: reachable sets, Markov chain, routability."""
         config = config or ExperimentConfig()
         geometry = get_geometry("hypercube")
         overlay = HypercubeOverlay.build(EXAMPLE_D)

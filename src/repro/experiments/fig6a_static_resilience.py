@@ -38,6 +38,7 @@ class Fig6aStaticResilience(Experiment):
     paper_reference = "Figure 6(a)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Compute the analytical curves and measure the simulated routability grid."""
         config = config or ExperimentConfig()
         simulation_d = config.resolved_simulation_d(
             full_default=PAPER_SIMULATION_D, fast_default=FAST_SIMULATION_D

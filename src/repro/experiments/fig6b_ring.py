@@ -33,6 +33,7 @@ class Fig6bRingBound(Experiment):
     paper_reference = "Figure 6(b)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Compute the ring's analytical curve and measure the simulated grid."""
         config = config or ExperimentConfig()
         simulation_d = config.resolved_simulation_d(
             full_default=PAPER_SIMULATION_D, fast_default=FAST_SIMULATION_D

@@ -50,6 +50,7 @@ class Fig7aAsymptoticLimit(Experiment):
     paper_reference = "Figure 7(a)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Evaluate the asymptotic curves and anchor them at a simulable size."""
         config = config or ExperimentConfig()
         failure_probabilities = paper_failure_probabilities(fast=config.fast)
         validation_d = config.resolved_simulation_d(

@@ -32,6 +32,7 @@ class Fig7bScaling(Experiment):
     paper_reference = "Figure 7(b)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Evaluate routability across system sizes for each geometry."""
         config = config or ExperimentConfig()
         system_sizes = paper_system_sizes(fast=config.fast)
 

@@ -38,6 +38,7 @@ class PercolationVersusRoutability(Experiment):
     paper_reference = "Section 1 motivation (connectivity does not imply routability)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Compare giant-component percolation against measured routability."""
         config = config or ExperimentConfig()
         d = config.resolved_simulation_d(full_default=FULL_D, fast_default=FAST_D)
         workload = config.resolved_workload()

@@ -31,6 +31,7 @@ class ScalabilityClassification(Experiment):
     paper_reference = "Section 5 (and the scalable/unscalable labels of Figure 7)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Build the Section 5 scalability classification table."""
         config = config or ExperimentConfig()
         rows: List[Dict[str, object]] = []
         evidence_rows: List[Dict[str, object]] = []

@@ -59,6 +59,7 @@ class SymphonySensitivity(Experiment):
     paper_reference = "Design remark in Sections 1, 3.5 and 6 (no figure in the paper)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Sweep Symphony's shortcut count and measure the sensitivity."""
         config = config or ExperimentConfig()
         rows: List[Dict[str, object]] = []
         for near_neighbors, shortcuts in DEGREE_GRID:

@@ -32,6 +32,7 @@ class XorVersusTreeAblation(Experiment):
     paper_reference = "Sections 3.1-3.3 (design comparison; no single paper figure)"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Ablate XOR bucket flexibility down to the tree's single entry."""
         config = config or ExperimentConfig()
         failure_probabilities = paper_failure_probabilities(fast=config.fast)
         tree = get_geometry("tree")

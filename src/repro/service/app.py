@@ -1,0 +1,344 @@
+"""The sweep service application: config, HTTP frontends, lifecycle.
+
+The :class:`SweepService` object owns the persistent result store and the
+job manager and exposes two frontends over the same route table
+(:mod:`repro.service.routes`):
+
+* a **standard-library asyncio HTTP server** (:meth:`SweepService.serve`,
+  launched by ``rcm serve``) — a deliberately small HTTP/1.1 implementation
+  with zero dependencies beyond ``asyncio``, sufficient for the API's
+  JSON + NDJSON responses; and
+* an **ASGI adapter** (:func:`create_asgi_app`) so the identical service
+  can be mounted under any ASGI server (uvicorn, hypercorn) or framework
+  (e.g. behind a Starlette/FastAPI gateway) when one is installed — the
+  same graceful-enhancement pattern as the optional numba backend: nothing
+  here imports an ASGI server, the adapter merely speaks the protocol.
+
+Deploy behind a gateway (Kong, nginx) by pointing an upstream at
+``rcm serve``'s host/port; ``/healthz`` is the upstream probe and
+``/metrics`` the scrape target.  See ``docs/api.md`` (generated from the
+route table) for the endpoint reference and ``docs/architecture.md`` for
+how the service layers over the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .. import __version__
+from .jobs import JobManager
+from .routes import Request, Response, build_routes, match_route
+from .store import ResultStore
+
+__all__ = ["ServiceConfig", "SweepService", "create_asgi_app", "serve"]
+
+#: Largest accepted request body (bytes); sweep submissions are tiny.
+_MAX_BODY_BYTES = 1 << 20
+#: Largest accepted request line + header block (bytes).
+_MAX_HEADER_BYTES = 1 << 16
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Launch-time configuration of one service instance.
+
+    ``pairs``/``trials``/``seed`` are the *defaults* a submission inherits
+    when it omits them; a request may override any of the three (each
+    distinct combination gets its own runner and persistent-store key
+    space).  ``workers``, ``backend``, ``batch_size`` and ``fused`` are
+    execution-shape knobs: they tune throughput but can never change a
+    measured number.
+    """
+
+    store_path: str
+    host: str = "127.0.0.1"
+    port: int = 8642
+    pairs: int = 2000
+    trials: int = 3
+    seed: int = 20060328
+    workers: int = 1
+    backend: Optional[str] = None
+    batch_size: Optional[int] = None
+    fused: bool = True
+    max_jobs: int = 2
+
+
+class SweepService:
+    """The simulation-as-a-service tier over the sweep engine.
+
+    Construction opens (or creates) the persistent result store and builds
+    the job manager; :meth:`close` tears both down.  The object is the
+    single argument handlers close over, so everything the HTTP layer can
+    reach is testable without a socket.
+    """
+
+    def __init__(self, config: ServiceConfig, *, store: Optional[ResultStore] = None) -> None:
+        self.config = config
+        self.store = store if store is not None else ResultStore.open(config.store_path)
+        self.jobs = JobManager(
+            self.store,
+            pairs=config.pairs,
+            trials=config.trials,
+            seed=config.seed,
+            workers=config.workers,
+            backend=config.backend,
+            batch_size=config.batch_size,
+            fused=config.fused,
+            max_jobs=config.max_jobs,
+        )
+        self.routes = build_routes(self)
+        self._started = time.time()
+
+    # ------------------------------------------------------------------ #
+    # introspection payloads (healthz / metrics handlers)
+    # ------------------------------------------------------------------ #
+    def health_payload(self) -> Dict[str, object]:
+        """The ``GET /healthz`` document."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "store": dict(self.store.describe()),
+            "jobs": self.jobs.state_counts(),
+            "uptime_seconds": time.time() - self._started,
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition format)."""
+        cached, computed = self.jobs.cache_totals()
+        lines = [
+            "# HELP rcm_jobs_total Jobs accepted by this instance, by lifecycle state.",
+            "# TYPE rcm_jobs_total gauge",
+        ]
+        for state, count in sorted(self.jobs.state_counts().items()):
+            lines.append(f'rcm_jobs_total{{state="{state}"}} {count}')
+        lines += [
+            "# HELP rcm_cells_cached_total Sweep cells served from the cache (no kernel execution).",
+            "# TYPE rcm_cells_cached_total counter",
+            f"rcm_cells_cached_total {cached}",
+            "# HELP rcm_cells_computed_total Sweep cells actually simulated.",
+            "# TYPE rcm_cells_computed_total counter",
+            f"rcm_cells_computed_total {computed}",
+            "# HELP rcm_store_cells Cells in the persistent result store.",
+            "# TYPE rcm_store_cells gauge",
+            f"rcm_store_cells {len(self.store)}",
+            "# HELP rcm_uptime_seconds Seconds since this instance started.",
+            "# TYPE rcm_uptime_seconds gauge",
+            f"rcm_uptime_seconds {time.time() - self._started:.3f}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------ #
+    # dispatch (shared by both frontends)
+    # ------------------------------------------------------------------ #
+    async def dispatch(self, request: Request) -> Response:
+        """Route one parsed request to its handler; maps misses onto 404/405
+        and handler crashes onto a JSON 500 (the error text stays server-side
+        in the log, not leaked to the client beyond its type)."""
+        route, params, allowed = match_route(self.routes, request.method, request.path)
+        if route is None:
+            if allowed:
+                return Response(
+                    status=405,
+                    payload={"error": f"method {request.method} not allowed; allowed: {sorted(set(allowed))}"},
+                )
+            return Response(status=404, payload={"error": f"no route for {request.path!r}"})
+        request.params = params
+        try:
+            return await route.handler(request)
+        except Exception as error:  # pragma: no cover - handler bugs must not kill the server
+            return Response(status=500, payload={"error": f"internal error: {type(error).__name__}"})
+
+    def close(self) -> None:
+        """Stop accepting work and release the job manager and store."""
+        self.jobs.close()
+        self.store.close()
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the stdlib asyncio HTTP frontend
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: parse a single HTTP/1.1 request, respond, close."""
+        try:
+            request, parse_error = await _read_http_request(reader)
+            if parse_error is not None:
+                response = Response(status=parse_error[0], payload={"error": parse_error[1]})
+            else:
+                response = await self.dispatch(request)
+            await _write_http_response(writer, response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # the client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def start_server(self) -> asyncio.base_events.Server:
+        """Bind and start the asyncio server (port 0 picks a free port)."""
+        return await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+
+    async def serve(self) -> None:
+        """Run the stdlib HTTP server until cancelled."""
+        server = await self.start_server()
+        addresses = ", ".join(
+            f"http://{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
+        )
+        print(f"rcm sweep service listening on {addresses} (store: {self.store.path})")
+        async with server:
+            await server.serve_forever()
+
+
+async def _read_http_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; returns ``(Request | None, error | None)``."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        return None, (413, "request header block too large")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise
+        return None, (400, "truncated HTTP request")
+    if len(header_block) > _MAX_HEADER_BYTES:
+        return None, (413, "request header block too large")
+    try:
+        head, *header_lines = header_block.decode("latin-1").split("\r\n")
+        method, target, _version = head.split(" ", 2)
+    except ValueError:
+        return None, (400, "malformed HTTP request line")
+    headers = {}
+    for line in header_lines:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    parsed = urllib.parse.urlsplit(target)
+    query = {key: values[-1] for key, values in urllib.parse.parse_qs(parsed.query).items()}
+    body: Optional[object] = None
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY_BYTES:
+        return None, (413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return None, (400, f"request body is not valid JSON: {error}")
+    return Request(method=method.upper(), path=parsed.path, query=query, body=body), None
+
+
+async def _write_http_response(writer: asyncio.StreamWriter, response: Response) -> None:
+    """Serialize a :class:`Response`; streamed bodies are close-delimited."""
+    phrase = _STATUS_PHRASES.get(response.status, "OK")
+    headers = [
+        f"HTTP/1.1 {response.status} {phrase}",
+        f"Content-Type: {response.media_type}",
+        "Connection: close",
+    ]
+    if response.stream is None:
+        body = response.body_bytes()
+        headers.append(f"Content-Length: {len(body)}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+    else:
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        async for chunk in response.stream:
+            writer.write(chunk)
+            await writer.drain()
+
+
+def create_asgi_app(service: SweepService):
+    """An ASGI 3 application over ``service`` (for uvicorn/hypercorn/gateways).
+
+    The adapter speaks raw ASGI, so no ASGI framework or server is imported
+    — install one (e.g. ``uvicorn``) only if you want to serve through it:
+    ``uvicorn --factory yourmodule:app`` where ``app`` returns
+    ``create_asgi_app(SweepService(config))``.
+    """
+
+    async def app(scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":  # pragma: no cover - websockets are out of scope
+            raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
+        raw_body = b""
+        while True:
+            message = await receive()
+            raw_body += message.get("body", b"")
+            if not message.get("more_body"):
+                break
+        body: Optional[object] = None
+        if raw_body:
+            try:
+                body = json.loads(raw_body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                await _asgi_send_response(
+                    send, Response(status=400, payload={"error": f"request body is not valid JSON: {error}"})
+                )
+                return
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(scope.get("query_string", b"").decode("latin-1")).items()
+        }
+        request = Request(
+            method=scope["method"].upper(), path=scope["path"], query=query, body=body
+        )
+        response = await service.dispatch(request)
+        await _asgi_send_response(send, response)
+
+    return app
+
+
+async def _asgi_send_response(send, response: Response) -> None:
+    headers = [(b"content-type", response.media_type.encode("latin-1"))]
+    if response.stream is None:
+        body = response.body_bytes()
+        headers.append((b"content-length", str(len(body)).encode("latin-1")))
+        await send({"type": "http.response.start", "status": response.status, "headers": headers})
+        await send({"type": "http.response.body", "body": body})
+    else:
+        await send({"type": "http.response.start", "status": response.status, "headers": headers})
+        async for chunk in response.stream:
+            await send({"type": "http.response.body", "body": chunk, "more_body": True})
+        await send({"type": "http.response.body", "body": b""})
+
+
+async def serve(config: ServiceConfig) -> None:
+    """Build a :class:`SweepService` from ``config`` and serve until cancelled."""
+    service = SweepService(config)
+    try:
+        await service.serve()
+    finally:
+        service.close()

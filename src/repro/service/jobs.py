@@ -1,0 +1,370 @@
+"""The sweep service's job layer: submissions, sharding, status, results.
+
+A submitted sweep grid becomes a :class:`SweepJob` with a server-assigned
+id and a ``queued → running → done | failed`` lifecycle.  Jobs execute on a
+bounded thread pool (``max_jobs`` concurrent jobs; further submissions
+queue), and each job is **sharded** by ``(geometry, failure model)``: one
+shard maps onto one :meth:`SweepRunner.sweep` call, so shard results stream
+out as they complete and the engine's own fan-out machinery — fused overlay
+groups, the persistent worker pool, shared-memory tables — does the heavy
+lifting inside each shard.
+
+Runners are recycled across jobs: the manager keeps a small LRU of
+:class:`~repro.sim.engine.SweepRunner` instances keyed by the run
+parameters that pin cell identity (``pairs``, ``trials``, ``seed``), each
+wired to the shared persistent :class:`~repro.service.store.ResultStore`.
+A resubmitted grid therefore computes **zero** new cells — every cell is
+recalled from the runner memo or the on-disk store — and the per-job
+``cells`` accounting (cached vs computed, from
+:class:`~repro.sim.engine.SweepRunStats`) makes that observable through the
+status API.
+
+This module is deliberately HTTP-free (plain threads and locks) so the job
+lifecycle is testable without a server; :mod:`repro.service.routes` maps it
+onto endpoints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ServiceError
+from ..sim.engine import SweepRunner, SweepRunStats
+from .schemas import SWEEP_REQUEST_SCHEMA, validate_payload
+
+__all__ = ["JOB_STATES", "SweepJobRequest", "SweepJob", "JobManager"]
+
+#: The job lifecycle, in order.  ``queued`` jobs wait for a thread-pool
+#: slot; ``failed`` carries a human-readable error in the status document.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class SweepJobRequest:
+    """A validated, normalised sweep submission.
+
+    Normalisation fills the service-level defaults for ``pairs``, ``trials``
+    and ``seed``; the tuple of ``(pairs, trials, seed)`` selects the runner
+    (and hence the persistent-store key space) the job executes on.
+    """
+
+    geometries: Tuple[str, ...]
+    d: int
+    q: Tuple[float, ...]
+    failure_models: Tuple[str, ...]
+    pairs: int
+    trials: int
+    seed: int
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, *, default_pairs: int, default_trials: int, default_seed: int
+    ) -> "SweepJobRequest":
+        """Validate a JSON body against :data:`SWEEP_REQUEST_SCHEMA` and normalise it.
+
+        Raises :class:`~repro.exceptions.ServiceError` listing every
+        structural problem; semantic errors (an unknown geometry, a
+        severity outside the model's domain) are left to the engine so
+        they surface as a *failed job* rather than a rejected request.
+        """
+        errors = validate_payload(payload, SWEEP_REQUEST_SCHEMA)
+        if errors:
+            raise ServiceError("invalid sweep request: " + "; ".join(errors))
+        assert isinstance(payload, dict)  # guaranteed by the schema check
+        return cls(
+            geometries=tuple(payload["geometries"]),
+            d=int(payload["d"]),
+            q=tuple(float(value) for value in payload["q"]),
+            failure_models=tuple(payload.get("failure_models", ("uniform",))),
+            pairs=int(payload.get("pairs", default_pairs)),
+            trials=int(payload.get("trials", default_trials)),
+            seed=int(payload.get("seed", default_seed)),
+        )
+
+    def as_payload(self) -> Dict[str, object]:
+        """The normalised request as a JSON-safe mapping (echoed in statuses)."""
+        return {
+            "geometries": list(self.geometries),
+            "d": self.d,
+            "q": list(self.q),
+            "failure_models": list(self.failure_models),
+            "pairs": self.pairs,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    @property
+    def cells_total(self) -> int:
+        """Number of grid cells the submission expands to."""
+        return len(self.geometries) * len(self.failure_models) * self.trials * len(self.q)
+
+    @property
+    def shards(self) -> List[Tuple[str, str]]:
+        """The job's shard plan: one ``(geometry, failure_model)`` per shard."""
+        return [(geometry, model) for geometry in self.geometries for model in self.failure_models]
+
+
+class SweepJob:
+    """One accepted submission and everything observable about it.
+
+    All mutation happens under an internal lock; readers take consistent
+    snapshots via :meth:`status_payload` / :meth:`results_payload` /
+    :meth:`shard_results`, so the HTTP handlers never see a half-updated
+    job.
+    """
+
+    def __init__(self, job_id: str, request: SweepJobRequest) -> None:
+        self.job_id = job_id
+        self.request = request
+        self._lock = threading.Lock()
+        self._state = "queued"
+        self._error: Optional[str] = None
+        self._results: List[Dict[str, object]] = []
+        self._cells_done = 0
+        self._cells_cached = 0
+        self._cells_computed = 0
+        self._shards_done = 0
+        self._created = time.time()
+        self._started: Optional[float] = None
+        self._finished: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle transitions (called by the manager's worker thread)
+    # ------------------------------------------------------------------ #
+    def _mark_running(self) -> None:
+        with self._lock:
+            self._state = "running"
+            self._started = time.time()
+
+    def _record_shard(self, result: Dict[str, object], stats: SweepRunStats) -> None:
+        with self._lock:
+            self._results.append(result)
+            self._shards_done += 1
+            self._cells_done += stats.requested
+            self._cells_cached += stats.cached
+            self._cells_computed += stats.computed
+
+    def _mark_done(self) -> None:
+        with self._lock:
+            self._state = "done"
+            self._finished = time.time()
+
+    def _mark_failed(self, error: str) -> None:
+        with self._lock:
+            self._state = "failed"
+            self._error = error
+            self._finished = time.time()
+
+    # ------------------------------------------------------------------ #
+    # snapshots (called by the HTTP handlers)
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """The job's current lifecycle state (one of :data:`JOB_STATES`)."""
+        with self._lock:
+            return self._state
+
+    def status_payload(self) -> Dict[str, object]:
+        """The JSON status document (schema: ``JOB_STATUS_SCHEMA``)."""
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "state": self._state,
+                "request": self.request.as_payload(),
+                "cells": {
+                    "total": self.request.cells_total,
+                    "done": self._cells_done,
+                    "cached": self._cells_cached,
+                    "computed": self._cells_computed,
+                },
+                "shards": {"total": len(self.request.shards), "done": self._shards_done},
+                "error": self._error,
+                "created": self._created,
+                "started": self._started,
+                "finished": self._finished,
+            }
+
+    def results_payload(self) -> Dict[str, object]:
+        """The JSON results document (schema: ``JOB_RESULTS_SCHEMA``)."""
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "state": self._state,
+                "results": list(self._results),
+            }
+
+    def shard_results(self) -> Tuple[str, List[Dict[str, object]]]:
+        """A consistent ``(state, completed shard results)`` snapshot for streaming."""
+        with self._lock:
+            return self._state, list(self._results)
+
+    def cache_counts(self) -> Tuple[int, int]:
+        """``(cells_cached, cells_computed)`` so far."""
+        with self._lock:
+            return self._cells_cached, self._cells_computed
+
+
+class JobManager:
+    """Accepts sweep submissions and executes them with bounded concurrency.
+
+    ``max_jobs`` bounds how many jobs *execute* at once (submissions beyond
+    that queue in the thread pool); within a job, shards run sequentially
+    but each shard fans out across the engine's persistent worker pool.
+    One lock serialises runner access — runners are not safe for concurrent
+    ``run`` calls — so ``max_jobs > 1`` overlaps a running shard with
+    queued jobs' bookkeeping, not with another shard's kernels.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        pairs: int = 2000,
+        trials: int = 3,
+        seed: int = 20060328,
+        workers: int = 1,
+        backend: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        fused: bool = True,
+        max_jobs: int = 2,
+        max_runners: int = 4,
+    ) -> None:
+        self._store = store
+        self._default_pairs = pairs
+        self._default_trials = trials
+        self._default_seed = seed
+        self._workers = workers
+        self._backend = backend
+        self._batch_size = batch_size
+        self._fused = fused
+        self._max_runners = max_runners
+        self._jobs: "OrderedDict[str, SweepJob]" = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._runners: "OrderedDict[Tuple[int, int, int], SweepRunner]" = OrderedDict()
+        self._runner_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(max_jobs)), thread_name_prefix="rcm-sweep-job"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # submission and lookup
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: object) -> SweepJob:
+        """Validate ``payload``, enqueue a job, and return it immediately.
+
+        Structural problems raise :class:`~repro.exceptions.ServiceError`
+        (the HTTP layer answers 400); semantic problems fail the job
+        asynchronously.
+        """
+        if self._closed:
+            raise ServiceError("the service is shutting down; submissions are closed")
+        request = SweepJobRequest.from_payload(
+            payload,
+            default_pairs=self._default_pairs,
+            default_trials=self._default_trials,
+            default_seed=self._default_seed,
+        )
+        job = SweepJob(uuid.uuid4().hex[:12], request)
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+        self._executor.submit(self._execute, job)
+        return job
+
+    def get(self, job_id: str) -> Optional[SweepJob]:
+        """The job with ``job_id``, or ``None``."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[SweepJob]:
+        """Every accepted job, oldest first."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def state_counts(self) -> Dict[str, int]:
+        """How many jobs sit in each lifecycle state (for health/metrics)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    def cache_totals(self) -> Tuple[int, int]:
+        """Aggregate ``(cells_cached, cells_computed)`` across every job."""
+        cached = computed = 0
+        for job in self.jobs():
+            job_cached, job_computed = job.cache_counts()
+            cached += job_cached
+            computed += job_computed
+        return cached, computed
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _runner_for(self, request: SweepJobRequest) -> SweepRunner:
+        """The (possibly recycled) runner matching the request's cell identity.
+
+        Caller must hold ``_runner_lock``.  Evicted runners release their
+        worker pools; their memoized cells survive in the persistent store.
+        """
+        key = (request.pairs, request.trials, request.seed)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = SweepRunner(
+                pairs=request.pairs,
+                replicates=request.trials,
+                base_seed=request.seed,
+                workers=self._workers,
+                backend=self._backend,
+                batch_size=self._batch_size,
+                fused=self._fused,
+                cell_store=self._store,
+            )
+            self._runners[key] = runner
+            while len(self._runners) > self._max_runners:
+                _, evicted = self._runners.popitem(last=False)
+                evicted.close()
+        else:
+            self._runners.move_to_end(key)
+        return runner
+
+    def _execute(self, job: SweepJob) -> None:
+        """Worker-thread entry point: run every shard of one job."""
+        job._mark_running()
+        try:
+            for geometry, model in job.request.shards:
+                with self._runner_lock:
+                    runner = self._runner_for(job.request)
+                    sweep = runner.sweep(geometry, job.request.d, list(job.request.q), model)
+                    stats = runner.last_run_stats
+                job._record_shard(
+                    {
+                        "geometry": sweep.geometry,
+                        "system": sweep.system,
+                        "d": sweep.d,
+                        "failure_model": sweep.failure_model,
+                        "backend": sweep.backend_name,
+                        "rows": sweep.as_rows(),
+                    },
+                    stats,
+                )
+            job._mark_done()
+        except Exception as error:  # a failed job must report its error, not crash the pool
+            job._mark_failed(f"{type(error).__name__}: {error}")
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop accepting submissions, wait for running jobs, release runners."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        with self._runner_lock:
+            for runner in self._runners.values():
+                runner.close()
+            self._runners.clear()

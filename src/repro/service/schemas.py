@@ -1,0 +1,296 @@
+"""Request/response schemas of the sweep service, plus a small validator.
+
+Each schema is an ordinary JSON-Schema-shaped dictionary.  They serve two
+masters at once:
+
+* the HTTP layer validates request bodies against them before a job is
+  accepted (:func:`validate_payload` — a deliberately small subset of JSON
+  Schema: ``type``, ``required``, ``properties``, ``items``, ``enum``,
+  ``minimum``/``maximum``/``exclusiveMaximum``, ``minItems``), and
+* the API-reference generator (:mod:`repro.service.apidocs`) embeds them
+  verbatim in the OpenAPI document and the generated ``docs/api.md`` — so
+  the published schemas are, by construction, the ones actually enforced.
+
+Keeping the validator in-repo (instead of depending on ``jsonschema``)
+mirrors the ``.[fast]`` optional-dependency discipline: the service runs on
+the standard library alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SWEEP_REQUEST_SCHEMA",
+    "JOB_ACCEPTED_SCHEMA",
+    "JOB_STATUS_SCHEMA",
+    "JOB_LIST_SCHEMA",
+    "JOB_RESULTS_SCHEMA",
+    "HEALTH_SCHEMA",
+    "ERROR_SCHEMA",
+    "OPENAPI_DOCUMENT_SCHEMA",
+    "METRICS_TEXT_SCHEMA",
+    "validate_payload",
+]
+
+#: Body of ``POST /v1/sweeps``.  ``q`` values are interpreted by the chosen
+#: failure model (failure probability for ``uniform``, severity otherwise),
+#: exactly as in ``rcm simulate``.
+SWEEP_REQUEST_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["geometries", "d", "q"],
+    "additionalProperties": False,
+    "properties": {
+        "geometries": {
+            "type": "array",
+            "items": {"type": "string"},
+            "minItems": 1,
+            "description": "Overlay geometries to sweep (names from the live overlay registry, e.g. ring, xor, debruijn).",
+        },
+        "d": {
+            "type": "integer",
+            "minimum": 1,
+            "maximum": 24,
+            "description": "Identifier length; every overlay has N = 2^d nodes.",
+        },
+        "q": {
+            "type": "array",
+            "items": {"type": "number"},
+            "minItems": 1,
+            "description": "Failure-model severities to sweep (failure probability for the uniform model).",
+        },
+        "failure_models": {
+            "type": "array",
+            "items": {"type": "string"},
+            "minItems": 1,
+            "description": "Failure-model kinds of the grid's model axis (default: [\"uniform\"]).",
+        },
+        "pairs": {
+            "type": "integer",
+            "minimum": 1,
+            "description": "Surviving (source, destination) pairs sampled per cell (default: the service's --pairs).",
+        },
+        "trials": {
+            "type": "integer",
+            "minimum": 1,
+            "description": "Independent failure patterns per point (default: the service's --trials).",
+        },
+        "seed": {
+            "type": "integer",
+            "minimum": 0,
+            "description": "Base random seed; cells derive deterministic per-cell streams from it (default: the service's --seed).",
+        },
+    },
+}
+
+#: ``202 Accepted`` body returned by a successful submission.
+JOB_ACCEPTED_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["job_id", "state", "links"],
+    "properties": {
+        "job_id": {"type": "string"},
+        "state": {"type": "string", "enum": ["queued", "running", "done", "failed"]},
+        "links": {
+            "type": "object",
+            "properties": {
+                "status": {"type": "string"},
+                "results": {"type": "string"},
+                "stream": {"type": "string"},
+            },
+        },
+    },
+}
+
+#: Status document of one job (``GET /v1/jobs/{job_id}``).
+JOB_STATUS_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["job_id", "state", "request", "cells", "shards"],
+    "properties": {
+        "job_id": {"type": "string"},
+        "state": {"type": "string", "enum": ["queued", "running", "done", "failed"]},
+        "request": {"type": "object", "description": "The submitted sweep request, normalised."},
+        "cells": {
+            "type": "object",
+            "description": "Cache accounting: total = cached + computed once the job is done.",
+            "properties": {
+                "total": {"type": "integer"},
+                "done": {"type": "integer"},
+                "cached": {"type": "integer", "description": "Served from the persistent store or memo — zero kernel executions."},
+                "computed": {"type": "integer", "description": "Actually simulated by the engine."},
+            },
+        },
+        "shards": {
+            "type": "object",
+            "description": "One shard per (geometry, failure model) of the grid.",
+            "properties": {"total": {"type": "integer"}, "done": {"type": "integer"}},
+        },
+        "error": {"type": ["string", "null"], "description": "Failure message when state is failed."},
+        "created": {"type": "number"},
+        "started": {"type": ["number", "null"]},
+        "finished": {"type": ["number", "null"]},
+    },
+}
+
+#: ``GET /v1/jobs`` — summaries of every job the service has accepted.
+JOB_LIST_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["jobs"],
+    "properties": {"jobs": {"type": "array", "items": JOB_STATUS_SCHEMA}},
+}
+
+#: Results document of one completed job (``GET /v1/jobs/{job_id}/results``).
+JOB_RESULTS_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["job_id", "state", "results"],
+    "properties": {
+        "job_id": {"type": "string"},
+        "state": {"type": "string"},
+        "results": {
+            "type": "array",
+            "description": "One entry per (geometry, failure model) shard, in submission order.",
+            "items": {
+                "type": "object",
+                "properties": {
+                    "geometry": {"type": "string"},
+                    "system": {"type": "string"},
+                    "d": {"type": "integer"},
+                    "failure_model": {"type": "string"},
+                    "backend": {"type": ["string", "null"]},
+                    "rows": {
+                        "type": "array",
+                        "description": "Identical to ResilienceSweepResult.as_rows(): one row per q with routability, failed_path_percent and attempts; degenerate points report null.",
+                        "items": {
+                            "type": "object",
+                            "properties": {
+                                "q": {"type": "number"},
+                                "routability": {"type": ["number", "null"]},
+                                "failed_path_percent": {"type": ["number", "null"]},
+                                "attempts": {"type": "integer"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+#: ``GET /healthz``.
+HEALTH_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["status", "version", "store", "jobs"],
+    "properties": {
+        "status": {"type": "string", "enum": ["ok"]},
+        "version": {"type": "string"},
+        "store": {
+            "type": "object",
+            "properties": {
+                "path": {"type": "string"},
+                "schema_version": {"type": "integer"},
+                "cells": {"type": "integer"},
+            },
+        },
+        "jobs": {
+            "type": "object",
+            "properties": {
+                "queued": {"type": "integer"},
+                "running": {"type": "integer"},
+                "done": {"type": "integer"},
+                "failed": {"type": "integer"},
+            },
+        },
+        "uptime_seconds": {"type": "number"},
+    },
+}
+
+#: Error envelope of every 4xx/5xx response.
+ERROR_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["error"],
+    "properties": {
+        "error": {"type": "string"},
+        "details": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+#: ``GET /openapi.json`` — the machine-readable API description itself.
+OPENAPI_DOCUMENT_SCHEMA: Dict = {
+    "type": "object",
+    "description": "An OpenAPI 3.0 document generated from the live route table.",
+    "properties": {
+        "openapi": {"type": "string"},
+        "info": {"type": "object"},
+        "paths": {"type": "object"},
+    },
+}
+
+#: ``GET /metrics`` — Prometheus text exposition format, not JSON.
+METRICS_TEXT_SCHEMA: Dict = {
+    "type": "string",
+    "description": "Prometheus text exposition: rcm_jobs_total{state=...}, rcm_cells_cached_total, rcm_cells_computed_total, rcm_store_cells, rcm_uptime_seconds.",
+}
+
+
+def _type_matches(value: object, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    return True
+
+
+def validate_payload(payload: object, schema: Dict, path: str = "body") -> List[str]:
+    """Validate ``payload`` against the supported JSON-Schema subset.
+
+    Returns a list of human-readable error strings (empty when valid);
+    the HTTP layer turns a non-empty list into a 400 response.  Unknown
+    schema keywords are ignored, so the schemas can carry documentation
+    (``description``) without affecting validation.
+    """
+    errors: List[str] = []
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        allowed = expected_type if isinstance(expected_type, list) else [expected_type]
+        if not any(_type_matches(payload, entry) for entry in allowed):
+            errors.append(f"{path}: expected {' or '.join(allowed)}, got {type(payload).__name__}")
+            return errors
+    if "enum" in schema and payload not in schema["enum"]:
+        errors.append(f"{path}: {payload!r} is not one of {schema['enum']}")
+    if isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        minimum: Optional[float] = schema.get("minimum")
+        if minimum is not None and payload < minimum:
+            errors.append(f"{path}: {payload} is below the minimum {minimum}")
+        maximum: Optional[float] = schema.get("maximum")
+        if maximum is not None and payload > maximum:
+            errors.append(f"{path}: {payload} is above the maximum {maximum}")
+    if isinstance(payload, dict):
+        for name in schema.get("required", []):
+            if name not in payload:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for name in payload:
+                if name not in properties:
+                    errors.append(f"{path}: unknown property {name!r}")
+        for name, value in payload.items():
+            if name in properties:
+                errors.extend(validate_payload(value, properties[name], f"{path}.{name}"))
+    if isinstance(payload, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(payload) < min_items:
+            errors.append(f"{path}: expected at least {min_items} item(s), got {len(payload)}")
+        items = schema.get("items")
+        if items is not None:
+            for index, value in enumerate(payload):
+                errors.extend(validate_payload(value, items, f"{path}[{index}]"))
+    return errors

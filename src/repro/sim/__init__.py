@@ -43,6 +43,7 @@ _EXPORTS = {
     "BatchRouteOutcome": "engine",
     "SweepCell": "engine",
     "SweepCellResult": "engine",
+    "SweepRunStats": "engine",
     "SweepRunner": "engine",
     "route_pairs": "engine",
     "route_pairs_stacked": "engine",

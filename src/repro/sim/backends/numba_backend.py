@@ -157,6 +157,7 @@ class NumbaBackend(KernelBackend):
         return loop
 
     def prepare(self, overlay, alive: np.ndarray):
+        """Resolve the spec, build its loop, and pack the bit-packed aliveness words."""
         spec = get_kernel_spec(overlay.geometry_name)
         loop = self._loop_for(spec)
         state = spec.prepare(overlay, alive)
@@ -169,6 +170,7 @@ class NumbaBackend(KernelBackend):
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Route all pairs through the compiled (or plain-Python) per-pair hop loop."""
         spec, loop, table, consts, arrays, words = state
         pair_dtype = table.dtype if table is not None else (
             arrays[0].dtype if arrays else np.int64

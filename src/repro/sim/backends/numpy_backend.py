@@ -68,12 +68,14 @@ class NumpyBackend(KernelBackend):
     name = "numpy"
 
     def prepare(self, overlay, alive: np.ndarray):
+        """Build the spec's vectorized step function for this mask."""
         spec = get_kernel_spec(overlay.geometry_name)
         return vector_step(spec, spec.prepare(overlay, alive), alive)
 
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every pair one hop per vectorized step until all terminate."""
         step = state
         n_pairs = sources.size
         hop_limit = overlay.hop_limit()

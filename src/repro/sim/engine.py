@@ -89,6 +89,7 @@ __all__ = [
     "resolve_backend",
     "SweepCell",
     "SweepCellResult",
+    "SweepRunStats",
     "SweepRunner",
     "PROFILE_PHASES",
 ]
@@ -535,6 +536,28 @@ class SweepCellResult:
     degenerate: bool = False
 
 
+@dataclass(frozen=True)
+class SweepRunStats:
+    """Cache accounting for one :meth:`SweepRunner.run` call.
+
+    ``requested`` counts every cell of the submitted grid; ``memo_hits``
+    were recalled from the runner's in-memory memo, ``store_hits`` from the
+    persistent cell store (when one is attached), and ``computed`` actually
+    ran kernels.  The three always sum to ``requested``.  The sweep service
+    surfaces these as the per-job cells-cached vs cells-computed counts.
+    """
+
+    requested: int
+    memo_hits: int
+    store_hits: int
+    computed: int
+
+    @property
+    def cached(self) -> int:
+        """Cells served without kernel execution (memo + persistent store)."""
+        return self.memo_hits + self.store_hits
+
+
 def _cell_entropy(base_seed: int, purpose: str, cell_key: Tuple) -> List[int]:
     """Deterministic, platform-independent entropy words for one cell seed."""
     words = [int(base_seed), zlib.crc32(purpose.encode("utf-8"))]
@@ -927,6 +950,17 @@ class SweepRunner:
     overlay_options:
         Extra keyword arguments forwarded to the overlay builders (e.g.
         ``near_neighbors``/``shortcuts`` for Symphony).
+    cell_store:
+        Optional persistent cell cache (duck-typed; canonically a
+        :class:`repro.service.store.ResultStore`).  Pending cells missing
+        from the in-memory memo are looked up in the store before any
+        kernel runs, and freshly computed cells are written back — so an
+        identical cell is never simulated twice across processes,
+        requests or CLI invocations.  Because every cell result is a pure
+        function of its ``(geometry, d, replicate, q[, model])`` identity
+        plus ``pairs``/``base_seed``/overlay options, recalled results are
+        bit-identical to recomputing them.  :attr:`last_run_stats` reports
+        the memo/store/computed split of the most recent :meth:`run`.
     """
 
     def __init__(
@@ -940,6 +974,7 @@ class SweepRunner:
         fused: bool = True,
         backend: BackendLike = None,
         overlay_options: Optional[Mapping[str, object]] = None,
+        cell_store=None,
     ) -> None:
         self._pairs = check_positive_int(pairs, "pairs")
         self._replicates = check_positive_int(replicates, "replicates")
@@ -965,8 +1000,10 @@ class SweepRunner:
             canonical = False
         self._spec_backend: BackendLike = resolved.name if canonical else resolved
         self._overlay_options = tuple(sorted((overlay_options or {}).items()))
+        self._cell_store = cell_store
         self._completed: Dict[SweepCell, SweepCellResult] = {}
         self._profile: Dict[str, float] = {}
+        self._last_run_stats = SweepRunStats(requested=0, memo_hits=0, store_hits=0, computed=0)
         self._pool = None
         self._pool_size = 0
 
@@ -984,6 +1021,16 @@ class SweepRunner:
     def backend_name(self) -> str:
         """Name of the resolved kernel backend every dispatch routes through."""
         return self._backend_name
+
+    @property
+    def cell_store(self):
+        """The attached persistent cell store, or ``None``."""
+        return self._cell_store
+
+    @property
+    def last_run_stats(self) -> SweepRunStats:
+        """Cache accounting of the most recent :meth:`run` (or :meth:`sweep`) call."""
+        return self._last_run_stats
 
     @property
     def profile(self) -> Dict[str, float]:
@@ -1085,6 +1132,19 @@ class SweepRunner:
         """
         grid = self._grid(geometries, d, failure_probabilities, failure_models)
         pending = [cell for cell in grid if cell not in self._completed]
+        memo_hits = len(grid) - len(pending)
+        store_hits = 0
+        if pending and self._cell_store is not None:
+            recalled = self._cell_store.get_cells(
+                pending,
+                pairs=self._pairs,
+                base_seed=self._base_seed,
+                overlay_options=self._overlay_options,
+            )
+            for cell, result in recalled.items():
+                self._completed[cell] = result
+            store_hits = len(recalled)
+            pending = [cell for cell in pending if cell not in self._completed]
         if pending:
             if self._fused:
                 results = self._run_fused(pending)
@@ -1092,6 +1152,19 @@ class SweepRunner:
                 results = self._run_per_cell(pending)
             for result in results:
                 self._completed[result.cell] = result
+            if self._cell_store is not None:
+                self._cell_store.put_cells(
+                    results,
+                    pairs=self._pairs,
+                    base_seed=self._base_seed,
+                    overlay_options=self._overlay_options,
+                )
+        self._last_run_stats = SweepRunStats(
+            requested=len(grid),
+            memo_hits=memo_hits,
+            store_hits=store_hits,
+            computed=len(pending),
+        )
         return {cell: self._completed[cell] for cell in grid}
 
     def _run_per_cell(self, pending: List[SweepCell]) -> List[SweepCellResult]:

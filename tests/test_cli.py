@@ -192,3 +192,72 @@ class TestJsonExport:
 
         text = self._export(tmp_path, capsys, "--failure-model", "regional")
         assert json.loads(text)["failure_model"] == "regional"
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8642
+        assert arguments.store == "rcm_sweeps.db"
+        assert arguments.max_jobs == 2
+
+    def test_dump_flags_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--dump-openapi", "--dump-api-markdown"])
+
+    def test_dump_openapi_prints_the_document(self, capsys):
+        import json
+
+        assert main(["serve", "--dump-openapi"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["openapi"] == "3.0.3"
+        assert "/v1/sweeps" in document["paths"]
+
+    def test_dump_api_markdown_matches_the_generator(self, capsys):
+        from repro.service.apidocs import generate_api_markdown
+        from repro.service.routes import build_routes
+
+        assert main(["serve", "--dump-api-markdown"]) == 0
+        assert capsys.readouterr().out == generate_api_markdown(build_routes(None))
+
+
+class TestResultStoreOption:
+    def _simulate(self, store, *extra):
+        return [
+            "simulate", "--geometry", "ring", "--d", "6",
+            "--q", "0.1", "--pairs", "20", "--trials", "1",
+            "--store", str(store), *extra,
+        ]
+
+    def test_store_round_trip_reports_cache_hits(self, tmp_path, capsys):
+        store = tmp_path / "cells.db"
+        assert main(self._simulate(store)) == 0
+        first = capsys.readouterr()
+        assert "0 computed" not in first.err
+
+        assert main(self._simulate(store)) == 0
+        second = capsys.readouterr()
+        assert "1 of 1 cells served" in second.err
+        assert "(0 computed)" in second.err
+        assert second.out == first.out  # bit-identical tables either way
+
+    def test_unwritable_store_exits_2_with_one_line_error(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        assert main(self._simulate(blocker / "sub" / "cells.db")) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot create result-store directory")
+        assert "Traceback" not in captured.err
+
+    def test_store_pointing_at_directory_exits_2(self, tmp_path, capsys):
+        assert main(self._simulate(tmp_path)) == 2
+        captured = capsys.readouterr()
+        assert "is a directory" in captured.err
+
+    def test_serve_with_unusable_store_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "is a directory" in captured.err

@@ -1,0 +1,107 @@
+"""Documentation regression tests: generated-reference drift and link rot.
+
+``docs/api.md`` is a build product of the live route table; this module
+regenerates it and fails when the checked-in copy drifts from the code.
+The link checker walks every markdown document and verifies that relative
+links point at files that exist, so README/docs restructuring cannot leave
+dangling references behind.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service.apidocs import generate_api_markdown, generate_openapi
+from repro.service.routes import build_routes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every markdown document whose links (and existence) are under test.
+DOCUMENTS = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "ROADMAP.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "api.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+class TestGeneratedApiReference:
+    def test_checked_in_api_md_matches_the_route_table(self):
+        """`docs/api.md` must be regenerated whenever the route table changes:
+        ``rcm serve --dump-api-markdown > docs/api.md``."""
+        checked_in = (REPO_ROOT / "docs" / "api.md").read_text()
+        regenerated = generate_api_markdown(build_routes(None))
+        assert checked_in == regenerated, (
+            "docs/api.md has drifted from the route table; regenerate it with "
+            "`rcm serve --dump-api-markdown > docs/api.md`"
+        )
+
+    def test_api_md_is_marked_generated(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        assert "GENERATED FILE" in text
+
+    def test_api_md_documents_every_route(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for route in build_routes(None):
+            assert f"### `{route.method} {route.path}`" in text
+
+    def test_openapi_document_covers_every_route_and_is_strict_json(self):
+        routes = build_routes(None)
+        document = generate_openapi(routes)
+        encoded = json.dumps(document, allow_nan=False)  # must not raise
+        assert json.loads(encoded) == document
+        for route in routes:
+            assert route.method.lower() in document["paths"][route.path]
+        operation_ids = [
+            operation["operationId"]
+            for operations in document["paths"].values()
+            for operation in operations.values()
+        ]
+        assert len(operation_ids) == len(set(operation_ids)) == len(routes)
+
+    def test_markdown_generation_is_deterministic(self):
+        assert generate_api_markdown(build_routes(None)) == generate_api_markdown(
+            build_routes(None)
+        )
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+    def test_document_exists(self, document):
+        assert document.is_file(), f"{document} is missing"
+
+    @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+    def test_relative_links_resolve(self, document):
+        broken = []
+        for target in _LINK.findall(document.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (document.parent / path).exists():
+                broken.append(target)
+        assert not broken, f"{document.name} has broken relative links: {broken}"
+
+    def test_readme_links_the_documentation_tier(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in text
+        assert "docs/api.md" in text
+
+    def test_architecture_doc_covers_the_standing_invariants(self):
+        """The sections README points into must keep existing."""
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        for heading in (
+            "## The oracle invariant",
+            "## The mask-generation discipline",
+            "## Deterministic cell identity",
+            "## The service tier and the shared result cache",
+            "## Adding a geometry is one file",
+        ):
+            assert heading in text, f"docs/architecture.md lost the {heading!r} section"

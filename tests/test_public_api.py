@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.report",
     "repro.cli",
+    "repro.service",
 ]
 
 

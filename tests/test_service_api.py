@@ -1,0 +1,314 @@
+"""End-to-end tests of the sweep service (``rcm serve``).
+
+The smoke tests run the real stdlib asyncio HTTP server on an ephemeral
+port and speak real HTTP/1.1 through ``http.client``; the cache tests
+prove the acceptance property — a resubmitted grid performs **zero**
+kernel executions and returns bit-identical results — by failing the
+kernel entry points outright on the second service instance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.app import ServiceConfig, SweepService, create_asgi_app
+from repro.sim.engine import SweepRunner
+
+#: Small but real sweep settings shared by the whole module.
+PAIRS, TRIALS, SEED = 40, 2, 11
+GRID = {"geometries": ["ring"], "d": 6, "q": [0.1, 0.3]}
+
+
+def _config(store_path, **overrides) -> ServiceConfig:
+    settings = dict(
+        store_path=str(store_path), port=0, pairs=PAIRS, trials=TRIALS, seed=SEED
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+@contextlib.contextmanager
+def running_service(store_path, **overrides):
+    """Run a real SweepService on an ephemeral port; yields ``(port, service)``."""
+    service = SweepService(_config(store_path, **overrides))
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, name="rcm-test-server", daemon=True)
+    thread.start()
+    server = asyncio.run_coroutine_threadsafe(service.start_server(), loop).result(timeout=10)
+    try:
+        yield server.sockets[0].getsockname()[1], service
+    finally:
+        async def _shutdown():
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+        service.close()
+
+
+def request(port, method, path, body=None, raw_body=None):
+    """One HTTP request; returns ``(status, parsed-or-text body)``."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = raw_body if raw_body is not None else (
+            json.dumps(body).encode() if body is not None else None
+        )
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        raw = response.read()
+        if response.headers.get_content_type() == "application/json":
+            return response.status, json.loads(raw)
+        return response.status, raw.decode()
+    finally:
+        connection.close()
+
+
+def wait_for_state(port, job_id, states=("done", "failed"), timeout=60.0):
+    """Poll the status route until the job settles; returns the status document."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request(port, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200, payload
+        if payload["state"] in states:
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not settle within {timeout}s")
+
+
+def direct_rows():
+    """The reference: the same grid through SweepRunner, no service, no store."""
+    with SweepRunner(pairs=PAIRS, replicates=TRIALS, base_seed=SEED) as runner:
+        return runner.sweep(GRID["geometries"][0], GRID["d"], GRID["q"]).as_rows()
+
+
+class TestEndToEndSmoke:
+    def test_submit_poll_results_matches_sweeprunner_bit_for_bit(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, accepted = request(port, "POST", "/v1/sweeps", body=GRID)
+            assert status == 202
+            job_id = accepted["job_id"]
+            assert accepted["links"]["status"] == f"/v1/jobs/{job_id}"
+
+            final = wait_for_state(port, job_id)
+            assert final["state"] == "done"
+            assert final["cells"] == {"total": 4, "done": 4, "cached": 0, "computed": 4}
+            assert final["shards"] == {"total": 1, "done": 1}
+
+            status, results = request(port, "GET", f"/v1/jobs/{job_id}/results")
+            assert status == 200
+            (shard,) = results["results"]
+            assert shard["geometry"] == "ring"
+            assert shard["failure_model"] == "uniform"
+            assert shard["rows"] == direct_rows()
+
+    def test_job_listing_and_health_and_metrics(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            _, accepted = request(port, "POST", "/v1/sweeps", body=GRID)
+            wait_for_state(port, accepted["job_id"])
+
+            status, listing = request(port, "GET", "/v1/jobs")
+            assert status == 200
+            assert [job["job_id"] for job in listing["jobs"]] == [accepted["job_id"]]
+
+            status, health = request(port, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["jobs"]["done"] == 1
+            assert health["store"]["cells"] == 4
+
+            status, metrics = request(port, "GET", "/metrics")
+            assert status == 200
+            assert 'rcm_jobs_total{state="done"} 1' in metrics
+            assert "rcm_cells_computed_total 4" in metrics
+            assert "rcm_store_cells 4" in metrics
+
+    def test_stream_replays_shards_then_ends(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            _, accepted = request(port, "POST", "/v1/sweeps", body=GRID)
+            status, ndjson = request(port, "GET", f"/v1/jobs/{accepted['job_id']}/stream")
+            assert status == 200
+            events = [json.loads(line) for line in ndjson.splitlines()]
+            assert [event["event"] for event in events] == ["shard", "end"]
+            assert events[0]["result"]["rows"] == direct_rows()
+            assert events[1]["status"]["state"] == "done"
+
+    def test_openapi_document_matches_the_route_table(self, tmp_path):
+        from repro.service.apidocs import generate_openapi
+        from repro.service.routes import build_routes
+
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, document = request(port, "GET", "/openapi.json")
+        assert status == 200
+        assert document == generate_openapi(build_routes(None))
+
+
+class TestCacheSemantics:
+    def test_resubmitted_grid_computes_zero_cells(self, tmp_path):
+        store_path = tmp_path / "cells.db"
+        with running_service(store_path) as (port, _service):
+            _, first = request(port, "POST", "/v1/sweeps", body=GRID)
+            wait_for_state(port, first["job_id"])
+            _, second = request(port, "POST", "/v1/sweeps", body=GRID)
+            final = wait_for_state(port, second["job_id"])
+        assert final["cells"]["computed"] == 0
+        assert final["cells"]["cached"] == 4
+
+    def test_fresh_service_serves_the_grid_with_zero_kernel_executions(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance property: a new service instance (fresh process
+        stand-in) on the same store must answer the identical grid without
+        executing a single kernel, bit-identically."""
+        store_path = tmp_path / "cells.db"
+        with running_service(store_path) as (port, _service):
+            _, accepted = request(port, "POST", "/v1/sweeps", body=GRID)
+            wait_for_state(port, accepted["job_id"])
+            _, results = request(port, "GET", f"/v1/jobs/{accepted['job_id']}/results")
+        first_rows = results["results"][0]["rows"]
+        assert first_rows == direct_rows()
+
+        def _no_kernels(self, pending):
+            raise AssertionError(f"kernel execution attempted for {len(pending)} cells")
+
+        monkeypatch.setattr(SweepRunner, "_run_fused", _no_kernels)
+        monkeypatch.setattr(SweepRunner, "_run_per_cell", _no_kernels)
+
+        with SweepService(_config(store_path)) as service:
+            job = service.jobs.submit(GRID)
+            deadline = time.monotonic() + 60
+            while job.state not in ("done", "failed") and time.monotonic() < deadline:
+                time.sleep(0.05)
+            status = job.status_payload()
+            assert status["state"] == "done", status["error"]
+            assert status["cells"]["computed"] == 0
+            assert status["cells"]["cached"] == 4
+            assert job.results_payload()["results"][0]["rows"] == first_rows
+
+
+class TestErrorPaths:
+    def test_semantically_invalid_grid_fails_the_job_with_409_results(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, accepted = request(
+                port, "POST", "/v1/sweeps", body={**GRID, "geometries": ["pastry"]}
+            )
+            assert status == 202  # structurally fine; fails asynchronously
+            final = wait_for_state(port, accepted["job_id"])
+            assert final["state"] == "failed"
+            assert "UnknownGeometryError" in final["error"]
+
+            status, payload = request(port, "GET", f"/v1/jobs/{accepted['job_id']}/results")
+            assert status == 409
+            assert "UnknownGeometryError" in payload["error"]
+
+    def test_structurally_invalid_body_is_rejected_400(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            for bad in (
+                {"geometries": [], "d": 6, "q": [0.1]},
+                {"geometries": ["ring"], "q": [0.1]},
+                {"geometries": ["ring"], "d": 6, "q": [0.1], "unknown_field": 1},
+            ):
+                status, payload = request(port, "POST", "/v1/sweeps", body=bad)
+                assert status == 400, bad
+                assert "invalid sweep request" in payload["error"]
+
+    def test_malformed_json_body_is_rejected_400(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, payload = request(port, "POST", "/v1/sweeps", raw_body=b"{not json")
+            assert status == 400
+            assert "not valid JSON" in payload["error"]
+
+    def test_unknown_job_and_route_and_method(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            assert request(port, "GET", "/v1/jobs/nope")[0] == 404
+            assert request(port, "GET", "/v1/nothing")[0] == 404
+            assert request(port, "POST", "/healthz")[0] == 405
+
+    def test_results_of_a_running_job_answer_202(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, service):
+            job = service.jobs.submit(GRID)
+            status, payload = request(port, "GET", f"/v1/jobs/{job.job_id}/results")
+            # 202 while queued/running, 200 once done - never an error.
+            assert status in (200, 202)
+            wait_for_state(port, job.job_id)
+
+    def test_submissions_after_close_are_refused(self, tmp_path):
+        service = SweepService(_config(tmp_path / "cells.db"))
+        service.close()
+        with pytest.raises(ServiceError, match="shutting down"):
+            service.jobs.submit(GRID)
+
+
+class TestAsgiAdapter:
+    """The ASGI 3 frontend, driven directly (no ASGI server dependency)."""
+
+    @staticmethod
+    def _call(app, method, path, body=None):
+        sent = []
+
+        async def receive():
+            return {"type": "http.request", "body": body or b"", "more_body": False}
+
+        async def send(message):
+            sent.append(message)
+
+        scope = {"type": "http", "method": method, "path": path, "query_string": b""}
+        asyncio.run(app(scope, receive, send))
+        status = sent[0]["status"]
+        payload = b"".join(message.get("body", b"") for message in sent[1:])
+        return status, payload
+
+    def test_health_and_submit_through_asgi(self, tmp_path):
+        with SweepService(_config(tmp_path / "cells.db")) as service:
+            app = create_asgi_app(service)
+            status, payload = self._call(app, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(payload)["status"] == "ok"
+
+            status, payload = self._call(
+                app, "POST", "/v1/sweeps", body=json.dumps(GRID).encode()
+            )
+            assert status == 202
+            job_id = json.loads(payload)["job_id"]
+            deadline = time.monotonic() + 60
+            while service.jobs.get(job_id).state not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            assert service.jobs.get(job_id).state == "done"
+
+    def test_asgi_rejects_malformed_json(self, tmp_path):
+        with SweepService(_config(tmp_path / "cells.db")) as service:
+            app = create_asgi_app(service)
+            status, payload = self._call(app, "POST", "/v1/sweeps", body=b"{broken")
+            assert status == 400
+            assert "not valid JSON" in json.loads(payload)["error"]
+
+    def test_asgi_lifespan_protocol(self, tmp_path):
+        with SweepService(_config(tmp_path / "cells.db")) as service:
+            app = create_asgi_app(service)
+            messages = iter(
+                [{"type": "lifespan.startup"}, {"type": "lifespan.shutdown"}]
+            )
+            sent = []
+
+            async def receive():
+                return next(messages)
+
+            async def send(message):
+                sent.append(message)
+
+            asyncio.run(app({"type": "lifespan"}, receive, send))
+            assert [message["type"] for message in sent] == [
+                "lifespan.startup.complete",
+                "lifespan.shutdown.complete",
+            ]

@@ -1,0 +1,214 @@
+"""Tests for the persistent result store (``repro.service.store``)."""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+import pytest
+
+from repro.dht.metrics import RoutingMetrics
+from repro.dht.routing import FailureReason
+from repro.exceptions import ResultStoreError
+from repro.service.store import STORE_SCHEMA_VERSION, ResultStore, cell_store_key
+from repro.sim.engine import SweepCell, SweepCellResult, SweepRunner
+
+
+def _cell(**overrides):
+    defaults = dict(geometry="ring", d=6, q=0.1, replicate=0, model="uniform")
+    defaults.update(overrides)
+    return SweepCell(**defaults)
+
+
+class TestCellStoreKey:
+    def test_key_is_deterministic(self):
+        assert cell_store_key(_cell(), pairs=50, base_seed=7) == cell_store_key(
+            _cell(), pairs=50, base_seed=7
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(geometry="xor"),
+            dict(d=8),
+            dict(q=0.2),
+            dict(replicate=1),
+            dict(model="regional"),
+        ],
+    )
+    def test_every_cell_coordinate_changes_the_key(self, variant):
+        base = cell_store_key(_cell(), pairs=50, base_seed=7)
+        assert cell_store_key(_cell(**variant), pairs=50, base_seed=7) != base
+
+    def test_pairs_and_seed_change_the_key(self):
+        base = cell_store_key(_cell(), pairs=50, base_seed=7)
+        assert cell_store_key(_cell(), pairs=51, base_seed=7) != base
+        assert cell_store_key(_cell(), pairs=50, base_seed=8) != base
+
+    def test_overlay_options_change_the_key(self):
+        base = cell_store_key(_cell(), pairs=50, base_seed=7)
+        assert cell_store_key(_cell(), pairs=50, base_seed=7, overlay_options=(("k", 2),)) != base
+
+    def test_execution_shape_is_not_in_the_key(self):
+        """Backend/workers/batch size/fused are bit-identical by the oracle
+        invariant, so they must not fragment the cache."""
+        key = cell_store_key(_cell(), pairs=50, base_seed=7)
+        for shape_word in ("backend", "workers", "batch", "fused"):
+            assert shape_word not in key
+
+    def test_q_uses_full_float_precision(self):
+        close = cell_store_key(_cell(q=0.1 + 1e-12), pairs=50, base_seed=7)
+        assert close != cell_store_key(_cell(q=0.1), pairs=50, base_seed=7)
+
+
+class TestResultStoreLifecycle:
+    def test_open_creates_parent_directories(self, tmp_path):
+        with ResultStore.open(tmp_path / "deep" / "nested" / "cells.db") as store:
+            assert len(store) == 0
+
+    def test_open_rejects_a_directory_path(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="is a directory"):
+            ResultStore.open(tmp_path)
+
+    def test_open_rejects_uncreatable_parent(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(ResultStoreError, match="cannot create result-store directory"):
+            ResultStore.open(blocker / "sub" / "cells.db")
+
+    def test_open_rejects_schema_version_mismatch(self, tmp_path):
+        path = tmp_path / "cells.db"
+        ResultStore.open(path).close()
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(ResultStoreError, match="schema version 999"):
+            ResultStore.open(path)
+
+    def test_describe_is_json_safe(self, tmp_path):
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            summary = store.describe()
+        assert summary["schema_version"] == STORE_SCHEMA_VERSION
+        assert summary["cells"] == 0
+        assert str(tmp_path) in summary["path"]
+
+
+class TestResultStoreRoundTrip:
+    def test_missing_cells_are_absent_not_errors(self, tmp_path):
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            assert store.get_cells([_cell()], pairs=50, base_seed=7) == {}
+
+    def test_round_trip_preserves_the_result_exactly(self, tmp_path):
+        result = SweepCellResult(
+            cell=_cell(),
+            pairs=50,
+            metrics=RoutingMetrics(
+                attempts=50,
+                successes=48,
+                mean_hops_successful=3.25,
+                mean_hops_failed=2.0,
+                failure_reasons={FailureReason.DEAD_END: 2},
+            ),
+        )
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            store.put_cells([result], pairs=50, base_seed=7)
+            recalled = store.get_cells([_cell()], pairs=50, base_seed=7)
+        assert recalled == {_cell(): result}
+
+    def test_round_trip_preserves_nan_means_of_degenerate_cells(self, tmp_path):
+        degenerate = SweepCellResult(
+            cell=_cell(q=0.99),
+            pairs=50,
+            metrics=RoutingMetrics(
+                attempts=0,
+                successes=0,
+                mean_hops_successful=float("nan"),
+                mean_hops_failed=float("nan"),
+                failure_reasons={},
+            ),
+            degenerate=True,
+        )
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            store.put_cells([degenerate], pairs=50, base_seed=7)
+            recalled = store.get_cells([_cell(q=0.99)], pairs=50, base_seed=7)
+        metrics = recalled[_cell(q=0.99)].metrics
+        assert math.isnan(metrics.mean_hops_successful)
+        assert math.isnan(metrics.mean_hops_failed)
+        assert recalled[_cell(q=0.99)].degenerate is True
+
+    def test_corrupt_payload_raises_result_store_error(self, tmp_path):
+        path = tmp_path / "cells.db"
+        with ResultStore.open(path) as store:
+            key = cell_store_key(_cell(), pairs=50, base_seed=7)
+            store._connection.execute(
+                "INSERT INTO cells (key, payload) VALUES (?, ?)", (key, '{"not": "a result"}')
+            )
+            store._connection.commit()
+            with pytest.raises(ResultStoreError, match="corrupt result-store payload"):
+                store.get_cells([_cell()], pairs=50, base_seed=7)
+
+    def test_chunked_lookup_handles_many_cells(self, tmp_path):
+        """More cells than one SQLite IN chunk (400 parameters) round-trip fine."""
+        cells = [_cell(q=0.1 + 0.0001 * i) for i in range(450)]
+        results = [
+            SweepCellResult(
+                cell=cell,
+                pairs=10,
+                metrics=RoutingMetrics(
+                    attempts=10,
+                    successes=10,
+                    mean_hops_successful=1.0,
+                    mean_hops_failed=float("nan"),
+                    failure_reasons={},
+                ),
+            )
+            for cell in cells
+        ]
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            store.put_cells(results, pairs=10, base_seed=7)
+            recalled = store.get_cells(cells, pairs=10, base_seed=7)
+        assert len(recalled) == 450
+
+
+class TestSweepRunnerIntegration:
+    def test_second_runner_recalls_every_cell_from_the_store(self, tmp_path):
+        """A fresh runner (fresh process stand-in) on the same store computes
+        zero cells and measures bit-identical rows."""
+        path = tmp_path / "cells.db"
+        grid = ("ring", 6, [0.1, 0.3])
+
+        with ResultStore.open(path) as store:
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                first = runner.sweep(*grid).as_rows()
+                stats = runner.last_run_stats
+        assert stats.computed == stats.requested == 4
+        assert stats.store_hits == 0
+
+        with ResultStore.open(path) as store:
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                second = runner.sweep(*grid).as_rows()
+                stats = runner.last_run_stats
+        assert stats.computed == 0
+        assert stats.store_hits == stats.requested == 4
+        assert second == first
+
+    def test_stored_results_match_a_storeless_runner_bit_for_bit(self, tmp_path):
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                runner.sweep("xor", 6, [0.2])
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                cached_rows = runner.sweep("xor", 6, [0.2]).as_rows()
+                assert runner.last_run_stats.computed == 0
+        with SweepRunner(pairs=40, replicates=2, base_seed=11) as runner:
+            direct_rows = runner.sweep("xor", 6, [0.2]).as_rows()
+        assert cached_rows == direct_rows
+
+    def test_different_seed_does_not_hit_the_store(self, tmp_path):
+        with ResultStore.open(tmp_path / "cells.db") as store:
+            with SweepRunner(pairs=40, replicates=1, base_seed=11, cell_store=store) as runner:
+                runner.sweep("ring", 6, [0.1])
+            with SweepRunner(pairs=40, replicates=1, base_seed=12, cell_store=store) as runner:
+                runner.sweep("ring", 6, [0.1])
+                assert runner.last_run_stats.store_hits == 0
+                assert runner.last_run_stats.computed == 1
