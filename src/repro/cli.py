@@ -199,6 +199,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-jobs", type=int, default=2, help="jobs executing concurrently; further submissions queue"
     )
+    serve_parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=16,
+        help="submission queue bound; beyond it submissions answer 503 with Retry-After (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="sustained submissions accepted per second; beyond it submissions answer 429 (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per shard attempt; a timed-out shard is recorded failed and the "
+            "job continues with the rest (default: %(default)s, 0 disables)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="extra attempts per shard after a transient failure, with exponential backoff (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--job-ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="finished jobs older than this are evicted from the in-memory registry (default: %(default)s, 0 disables)",
+    )
+    serve_parser.add_argument(
+        "--max-retained-jobs",
+        type=int,
+        default=512,
+        help="finished jobs retained at most; the oldest are evicted first (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-connection read/write budget of the stdlib HTTP frontend (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM, running jobs get this long to finish before being cancelled (default: %(default)s)",
+    )
     dump = serve_parser.add_mutually_exclusive_group()
     dump.add_argument(
         "--dump-openapi",
@@ -455,6 +511,14 @@ def _command_serve(arguments: argparse.Namespace) -> Optional[str]:
         backend=arguments.backend,
         batch_size=arguments.batch_size,
         max_jobs=arguments.max_jobs,
+        max_queued=arguments.max_queued,
+        rate_limit=arguments.rate_limit,
+        job_ttl=arguments.job_ttl if arguments.job_ttl > 0 else None,
+        max_retained_jobs=arguments.max_retained_jobs,
+        shard_timeout=arguments.shard_timeout if arguments.shard_timeout > 0 else None,
+        shard_retries=arguments.shard_retries,
+        request_timeout=arguments.request_timeout,
+        drain_timeout=arguments.drain_timeout,
     )
     try:
         asyncio.run(serve(config))

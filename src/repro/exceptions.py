@@ -67,5 +67,41 @@ class ServiceError(ReproError):
     """
 
 
+class BackpressureError(ServiceError):
+    """A submission was refused to protect the service, not because it was
+    malformed.
+
+    Carries the HTTP status the frontends should answer with and a
+    ``Retry-After`` hint (seconds); see the two concrete subclasses.
+    """
+
+    #: HTTP status code the frontends answer with.
+    status = 503
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(round(retry_after)))
+
+
+class ServiceOverloadedError(BackpressureError):
+    """The per-instance submission rate limit was exceeded (HTTP 429).
+
+    The client is sending faster than the configured
+    ``--rate-limit``; back off ``retry_after`` seconds and resubmit.
+    """
+
+    status = 429
+
+
+class ServiceUnavailableError(BackpressureError):
+    """The service cannot accept the submission right now (HTTP 503).
+
+    Raised when the bounded submission queue is full or the instance is
+    draining for shutdown; the work itself may be perfectly valid.
+    """
+
+    status = 503
+
+
 class ConvergenceError(ReproError):
     """A numerical convergence diagnostic could not reach a verdict."""

@@ -9,8 +9,13 @@ service tier (ROADMAP north star: *serve heavy traffic*):
   processes and requests, so an identical cell is **never** simulated
   twice.
 * :mod:`~repro.service.jobs` — submissions, the ``queued → running → done
-  | failed`` lifecycle, sharding across the engine's persistent worker
-  pool with bounded concurrency, and per-job cached/computed accounting.
+  | done_with_errors | failed | cancelled`` lifecycle, per-shard execution
+  units with bounded retries, watchdog timeouts and cooperative
+  cancellation, admission control (queue bound, rate limit, TTL
+  eviction), and per-job cached/computed accounting.
+* :mod:`~repro.service.faults` — the deterministic fault-injection
+  registry (named sites, count-based fault windows) behind the chaos
+  suite that proves the failure policies end-to-end.
 * :mod:`~repro.service.routes` / :mod:`~repro.service.app` — the route
   table (submit → job id → poll/stream/results, plus ``/healthz``,
   ``/metrics`` and ``/openapi.json``) served by a dependency-free stdlib
@@ -38,7 +43,16 @@ _EXPORTS = {
     "JobManager": "jobs",
     "SweepJob": "jobs",
     "SweepJobRequest": "jobs",
+    "ShardState": "jobs",
     "JOB_STATES": "jobs",
+    "TERMINAL_STATES": "jobs",
+    "SHARD_STATES": "jobs",
+    "FaultRegistry": "faults",
+    "FaultSpec": "faults",
+    "InjectedFault": "faults",
+    "FAULT_SITES": "faults",
+    "FAULT_KINDS": "faults",
+    "NO_FAULTS": "faults",
     "Route": "routes",
     "Request": "routes",
     "Response": "routes",

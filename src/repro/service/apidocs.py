@@ -118,23 +118,44 @@ def generate_api_markdown(routes: List[Route]) -> str:
         "",
         "```",
         "queued ──▶ running ──▶ done",
-        "                └─────▶ failed",
+        "   │            ├─────▶ done_with_errors",
+        "   │            ├─────▶ failed",
+        "   │            └─────▶ cancelled",
+        "   └──────────────────▶ cancelled",
         "```",
         "",
         "* **queued** — accepted, waiting for one of the service's bounded job slots",
-        "  (`--max-jobs`).",
+        "  (`--max-jobs`).  Submissions beyond the queue bound (`--max-queued`) or the",
+        "  submission rate limit (`--rate-limit`) are rejected with `503`/`429` and a",
+        "  `Retry-After` header rather than queued unboundedly.",
         "* **running** — shards execute; one shard per `(geometry, failure_model)`",
         "  pair, each a single fused sweep on the engine's persistent worker pool.",
+        "  Each shard is an independent execution unit with its own",
+        "  `pending → running → done | failed | cancelled` lifecycle: transient faults",
+        "  are retried with exponential backoff (`--shard-retries`), and a shard that",
+        "  exceeds its wall-clock budget (`--shard-timeout`) is recorded failed",
+        "  without aborting the rest of the job.  Retries never touch the random",
+        "  streams or cell identity — a shard that succeeds on attempt three returns",
+        "  rows byte-identical to one that succeeds on attempt one.",
         "  `GET /v1/jobs/{job_id}` reports shard and cell progress; the `stream`",
         "  route emits each shard's results the moment it completes.",
         "* **done** — `GET /v1/jobs/{job_id}/results` returns every shard's rows,",
         "  bit-identical to running the same grid through `SweepRunner.sweep`.",
-        "* **failed** — semantic errors (an unknown geometry, a severity outside the",
-        "  failure model's domain) fail the job; the status document carries the",
-        "  error and the results route answers `409`.",
+        "* **done_with_errors** — some shards failed or timed out; the results route",
+        "  answers `200` with the completed subset and the per-shard error detail.",
+        "* **failed** — every shard failed (for example an unknown geometry, or a",
+        "  severity outside the failure model's domain); the status document carries",
+        "  the error and the results route answers `409`.",
+        "* **cancelled** — `DELETE /v1/jobs/{job_id}` stops the job between shards;",
+        "  a still-queued job cancels immediately, a running one finishes its current",
+        "  shard and keeps the rows completed so far (results answer `200` with the",
+        "  partial set).",
         "",
         "Polling a route of a job that is still queued or running answers `202` with",
         "the current status document, so clients can poll the results URL directly.",
+        "During shutdown (SIGTERM) the service drains: new submissions answer `503`,",
+        "queued jobs are cancelled, running jobs get `--drain-timeout` seconds to",
+        "finish, and the process exits `0`.",
         "",
         "## Cache semantics",
         "",
@@ -191,9 +212,13 @@ def generate_api_markdown(routes: List[Route]) -> str:
         ),
         "```",
         "",
-        "`400` malformed body or structurally invalid submission · `404` unknown",
-        "route or job id · `405` wrong method on a known path · `409` results of a",
-        "failed job · `413` oversized request · `500` handler fault.",
+        "`400` malformed body, invalid `Content-Length` or structurally invalid",
+        "submission · `404` unknown route or job id · `405` wrong method on a known",
+        "path · `408` connection read/write budget exceeded · `409` results of a",
+        "failed job, or cancelling an already-finished one · `413` oversized request",
+        "· `429` submission rate limit exceeded (carries `Retry-After`) · `503`",
+        "submission queue full or service draining (carries `Retry-After`) · `500`",
+        "handler fault.",
         "",
     ]
     return "\n".join(lines)

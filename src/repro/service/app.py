@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import time
 import urllib.parse
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .. import __version__
+from .faults import FaultRegistry
 from .jobs import JobManager
 from .routes import Request, Response, build_routes, match_route
 from .store import ResultStore
@@ -48,9 +50,12 @@ _STATUS_PHRASES = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -64,6 +69,16 @@ class ServiceConfig:
     space).  ``workers``, ``backend``, ``batch_size`` and ``fused`` are
     execution-shape knobs: they tune throughput but can never change a
     measured number.
+
+    The failure-policy knobs are likewise shape-only: ``shard_timeout`` /
+    ``shard_retries`` bound how long one shard may run and how often a
+    transient error is retried, ``max_queued`` / ``rate_limit`` bound
+    admission (429/503 + ``Retry-After`` beyond them), ``job_ttl`` /
+    ``max_retained_jobs`` bound the job table, ``request_timeout`` bounds
+    how long one HTTP connection may dribble its request in or block the
+    response out (slow-loris protection), and ``drain_timeout`` is how
+    long a SIGTERM-triggered drain waits for running jobs before
+    cancelling them.
     """
 
     store_path: str
@@ -77,6 +92,15 @@ class ServiceConfig:
     batch_size: Optional[int] = None
     fused: bool = True
     max_jobs: int = 2
+    max_queued: int = 16
+    rate_limit: Optional[float] = None
+    job_ttl: Optional[float] = 3600.0
+    max_retained_jobs: int = 512
+    shard_timeout: Optional[float] = 300.0
+    shard_retries: int = 2
+    retry_backoff: float = 0.05
+    request_timeout: float = 30.0
+    drain_timeout: float = 5.0
 
 
 class SweepService:
@@ -88,9 +112,18 @@ class SweepService:
     reach is testable without a socket.
     """
 
-    def __init__(self, config: ServiceConfig, *, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        store: Optional[ResultStore] = None,
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
         self.config = config
-        self.store = store if store is not None else ResultStore.open(config.store_path)
+        self.faults = faults
+        self.store = (
+            store if store is not None else ResultStore.open(config.store_path, faults=faults)
+        )
         self.jobs = JobManager(
             self.store,
             pairs=config.pairs,
@@ -101,6 +134,14 @@ class SweepService:
             batch_size=config.batch_size,
             fused=config.fused,
             max_jobs=config.max_jobs,
+            max_queued=config.max_queued,
+            rate_limit=config.rate_limit,
+            job_ttl=config.job_ttl,
+            max_retained_jobs=config.max_retained_jobs,
+            shard_timeout=config.shard_timeout,
+            shard_retries=config.shard_retries,
+            retry_backoff=config.retry_backoff,
+            faults=faults,
         )
         self.routes = build_routes(self)
         self._started = time.time()
@@ -137,6 +178,26 @@ class SweepService:
             "# HELP rcm_store_cells Cells in the persistent result store.",
             "# TYPE rcm_store_cells gauge",
             f"rcm_store_cells {len(self.store)}",
+            "# HELP rcm_shard_retries_total Shard attempts beyond each shard's first (transient errors retried).",
+            "# TYPE rcm_shard_retries_total counter",
+            f"rcm_shard_retries_total {self.jobs.retries_total()}",
+            "# HELP rcm_jobs_rejected_total Submissions refused by admission control, by reason.",
+            "# TYPE rcm_jobs_rejected_total counter",
+        ]
+        for reason, count in sorted(self.jobs.rejected_counts().items()):
+            lines.append(f'rcm_jobs_rejected_total{{reason="{reason}"}} {count}')
+        lines += [
+            "# HELP rcm_queue_depth Accepted jobs waiting for an execution slot.",
+            "# TYPE rcm_queue_depth gauge",
+            f"rcm_queue_depth {self.jobs.queue_depth()}",
+            "# HELP rcm_job_duration_seconds Job wall-clock duration (acceptance to terminal state), by final state.",
+            "# TYPE rcm_job_duration_seconds gauge",
+        ]
+        for state, stats in sorted(self.jobs.duration_stats().items()):
+            lines.append(f'rcm_job_duration_seconds_count{{state="{state}"}} {int(stats["count"])}')
+            lines.append(f'rcm_job_duration_seconds_sum{{state="{state}"}} {stats["sum"]:.6f}')
+            lines.append(f'rcm_job_duration_seconds_max{{state="{state}"}} {stats["max"]:.6f}')
+        lines += [
             "# HELP rcm_uptime_seconds Seconds since this instance started.",
             "# TYPE rcm_uptime_seconds gauge",
             f"rcm_uptime_seconds {time.time() - self._started:.3f}",
@@ -181,14 +242,28 @@ class SweepService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Serve one connection: parse a single HTTP/1.1 request, respond, close."""
+        """Serve one connection: parse a single HTTP/1.1 request, respond, close.
+
+        The whole request read and every response-buffer drain are bounded
+        by ``config.request_timeout``, so a slow-loris client that dribbles
+        its request (or refuses to read the response) is answered 408 /
+        disconnected instead of pinning a connection forever.
+        """
+        timeout = self.config.request_timeout
         try:
-            request, parse_error = await _read_http_request(reader)
+            try:
+                request, parse_error = await asyncio.wait_for(
+                    _read_http_request(reader), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                request, parse_error = None, (408, "request read timed out")
             if parse_error is not None:
                 response = Response(status=parse_error[0], payload={"error": parse_error[1]})
             else:
                 response = await self.dispatch(request)
-            await _write_http_response(writer, response)
+            await _write_http_response(writer, response, drain_timeout=timeout)
+        except asyncio.TimeoutError:
+            pass  # the client stopped reading the response; just disconnect
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # the client went away; nothing to answer
         finally:
@@ -204,15 +279,47 @@ class SweepService:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
 
+    def begin_drain(self) -> None:
+        """Stop accepting submissions (503 + Retry-After); cancel queued jobs."""
+        self.jobs.begin_drain()
+
     async def serve(self) -> None:
-        """Run the stdlib HTTP server until cancelled."""
+        """Run the stdlib HTTP server until SIGTERM/SIGINT, then drain gracefully.
+
+        The drain sequence: close the listening socket (in-flight responses
+        finish), refuse new submissions, cancel still-queued jobs, give
+        running jobs ``config.drain_timeout`` seconds to finish before
+        cancelling them at the next shard boundary, flush and close the
+        store, and return — the process exits 0.
+        """
         server = await self.start_server()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX loops
+                pass
         addresses = ", ".join(
             f"http://{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
         )
-        print(f"rcm sweep service listening on {addresses} (store: {self.store.path})")
-        async with server:
-            await server.serve_forever()
+        print(f"rcm sweep service listening on {addresses} (store: {self.store.path})", flush=True)
+        try:
+            async with server:
+                await stop.wait()
+                print("rcm sweep service draining: submissions closed", flush=True)
+                self.begin_drain()
+            # ``async with`` closed the listening socket; drain job execution
+            # off the event loop so in-flight streaming responses can finish.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.jobs.close(drain_timeout=self.config.drain_timeout)
+            )
+            print("rcm sweep service drained; exiting", flush=True)
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
 
 
 async def _read_http_request(reader: asyncio.StreamReader):
@@ -240,11 +347,21 @@ async def _read_http_request(reader: asyncio.StreamReader):
     parsed = urllib.parse.urlsplit(target)
     query = {key: values[-1] for key, values in urllib.parse.parse_qs(parsed.query).items()}
     body: Optional[object] = None
-    length = int(headers.get("content-length", "0") or "0")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        # A non-numeric Content-Length must be answered 400, not dropped
+        # on the floor with an unanswered connection.
+        return None, (400, f"invalid Content-Length header {headers['content-length']!r}")
+    if length < 0:
+        return None, (400, f"invalid Content-Length header {headers['content-length']!r}")
     if length > _MAX_BODY_BYTES:
         return None, (413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
     if length:
-        raw = await reader.readexactly(length)
+        try:
+            raw = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None, (400, "request body shorter than Content-Length")
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -252,25 +369,40 @@ async def _read_http_request(reader: asyncio.StreamReader):
     return Request(method=method.upper(), path=parsed.path, query=query, body=body), None
 
 
-async def _write_http_response(writer: asyncio.StreamWriter, response: Response) -> None:
-    """Serialize a :class:`Response`; streamed bodies are close-delimited."""
+async def _write_http_response(
+    writer: asyncio.StreamWriter, response: Response, *, drain_timeout: Optional[float] = None
+) -> None:
+    """Serialize a :class:`Response`; streamed bodies are close-delimited.
+
+    Each buffer drain is bounded by ``drain_timeout`` so a client that
+    stops reading cannot pin the connection (the timeout aborts the write
+    and the caller closes the socket).
+    """
+
+    async def _drain() -> None:
+        if drain_timeout is None:
+            await writer.drain()
+        else:
+            await asyncio.wait_for(writer.drain(), timeout=drain_timeout)
+
     phrase = _STATUS_PHRASES.get(response.status, "OK")
     headers = [
         f"HTTP/1.1 {response.status} {phrase}",
         f"Content-Type: {response.media_type}",
         "Connection: close",
     ]
+    headers += [f"{name}: {value}" for name, value in response.headers.items()]
     if response.stream is None:
         body = response.body_bytes()
         headers.append(f"Content-Length: {len(body)}")
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
-        await writer.drain()
+        await _drain()
     else:
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
-        await writer.drain()
+        await _drain()
         async for chunk in response.stream:
             writer.write(chunk)
-            await writer.drain()
+            await _drain()
 
 
 def create_asgi_app(service: SweepService):
@@ -293,6 +425,23 @@ def create_asgi_app(service: SweepService):
                     return
         if scope["type"] != "http":  # pragma: no cover - websockets are out of scope
             raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
+        for name, value in scope.get("headers") or []:
+            if name.lower() == b"content-length":
+                try:
+                    length = int(value.decode("latin-1").strip())
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    # Same contract as the stdlib frontend: a malformed
+                    # Content-Length is a clean 400, never a dropped request.
+                    await _asgi_send_response(
+                        send,
+                        Response(
+                            status=400,
+                            payload={"error": f"invalid Content-Length header {value!r}"},
+                        ),
+                    )
+                    return
         raw_body = b""
         while True:
             message = await receive()
@@ -323,6 +472,10 @@ def create_asgi_app(service: SweepService):
 
 async def _asgi_send_response(send, response: Response) -> None:
     headers = [(b"content-type", response.media_type.encode("latin-1"))]
+    headers += [
+        (name.lower().encode("latin-1"), value.encode("latin-1"))
+        for name, value in response.headers.items()
+    ]
     if response.stream is None:
         body = response.body_bytes()
         headers.append((b"content-length", str(len(body)).encode("latin-1")))

@@ -24,8 +24,9 @@ import json
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple
 
-from ..exceptions import ServiceError
+from ..exceptions import BackpressureError, ServiceError
 from . import schemas
+from .jobs import TERMINAL_STATES
 
 __all__ = ["Request", "Response", "Route", "build_routes", "match_route"]
 
@@ -46,13 +47,18 @@ class Request:
 
 @dataclass
 class Response:
-    """One response: a JSON payload, plain text, or an async byte stream."""
+    """One response: a JSON payload, plain text, or an async byte stream.
+
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on
+    backpressure refusals); both frontends emit them verbatim.
+    """
 
     status: int = 200
     payload: Optional[object] = None
     text: Optional[str] = None
     media_type: str = "application/json"
     stream: Optional[AsyncIterator[bytes]] = None
+    headers: Dict[str, str] = field(default_factory=dict)
 
     def body_bytes(self) -> bytes:
         """The non-streaming body, encoded."""
@@ -133,6 +139,10 @@ def build_routes(service) -> List[Route]:
     async def submit_sweep(request: Request) -> Response:
         try:
             job = service.jobs.submit(request.body)
+        except BackpressureError as error:
+            response = _error(error.status, str(error))
+            response.headers["Retry-After"] = str(error.retry_after)
+            return response
         except ServiceError as error:
             return _error(400, str(error))
         return Response(
@@ -167,7 +177,18 @@ def build_routes(service) -> List[Route]:
         if state == "failed":
             status = job.status_payload()
             return _error(409, f"job {job.job_id} failed: {status['error']}")
+        # done, done_with_errors and cancelled all answer 200: whatever
+        # shards completed are returned, with the shard summary naming
+        # what is missing and why.
         return Response(payload=job.results_payload())
+
+    async def cancel_job(request: Request) -> Response:
+        job = service.jobs.get(request.params["job_id"])
+        if job is None:
+            return _error(404, f"unknown job {request.params['job_id']!r}")
+        if not job.request_cancel():
+            return _error(409, f"job {job.job_id} is already {job.state}; nothing to cancel")
+        return Response(status=202, payload=job.status_payload())
 
     async def job_stream(request: Request) -> Response:
         job = service.jobs.get(request.params["job_id"])
@@ -182,7 +203,7 @@ def build_routes(service) -> List[Route]:
                     record = {"event": "shard", "job_id": job.job_id, "result": shards[sent]}
                     yield json.dumps(record, allow_nan=False).encode("utf-8") + b"\n"
                     sent += 1
-                if state in ("done", "failed"):
+                if state in TERMINAL_STATES:
                     final = {"event": "end", "job_id": job.job_id, "status": job.status_payload()}
                     yield json.dumps(final, allow_nan=False).encode("utf-8") + b"\n"
                     return
@@ -215,7 +236,11 @@ def build_routes(service) -> List[Route]:
                 "without any kernel execution; only novel cells are simulated.  Responds "
                 "202 with the job id and links to the status, results and stream routes.  "
                 "Structurally invalid bodies are rejected 400; semantic errors (an unknown "
-                "geometry, a severity outside the model's domain) fail the job instead."
+                "geometry, a severity outside the model's domain) fail the affected shards "
+                "instead.  Admission control may refuse a valid submission: 429 when the "
+                "per-instance rate limit is exceeded, 503 when the bounded submission queue "
+                "is full or the instance is draining for shutdown — both carry a Retry-After "
+                "header (seconds)."
             ),
             handler=submit_sweep,
             request_schema=schemas.SWEEP_REQUEST_SCHEMA,
@@ -235,12 +260,16 @@ def build_routes(service) -> List[Route]:
             method="GET",
             path="/v1/jobs/{job_id}",
             name="getJobStatus",
-            summary="Poll one job's lifecycle state and cache accounting",
+            summary="Poll one job's lifecycle state, shard outcomes and cache accounting",
             description=(
-                "The status document tracks the job through queued → running → done | failed "
-                "and reports per-job cell accounting: cached counts cells served from the "
-                "persistent result store or runner memo (zero kernel executions), computed "
-                "counts cells actually simulated.  404 for unknown job ids."
+                "The status document tracks the job through queued → running → done | "
+                "done_with_errors | failed | cancelled and reports per-shard execution "
+                "state (pending → running → done | failed | cancelled, with attempt "
+                "counts and errors — a shard that exhausts its retries or hits the "
+                "wall-clock timeout is failed without aborting the job) plus per-job "
+                "cell accounting: cached counts cells served from the persistent result "
+                "store or runner memo (zero kernel executions), computed counts cells "
+                "actually simulated.  404 for unknown job ids."
             ),
             handler=job_status,
             response_schema=schemas.JOB_STATUS_SCHEMA,
@@ -254,12 +283,32 @@ def build_routes(service) -> List[Route]:
                 "For a done job, returns one result entry per (geometry, failure model) shard "
                 "with rows identical to ResilienceSweepResult.as_rows() — bit-identical to "
                 "running the same grid through SweepRunner directly, whether the cells were "
-                "computed or recalled from the cache.  While the job is queued or running the "
-                "route answers 202 with the status document; a failed job answers 409 with "
-                "the error."
+                "computed or recalled from the cache, and regardless of how many retries a "
+                "shard needed (retries can never alter cell identity or RNG streams).  A "
+                "done_with_errors or cancelled job answers 200 with the partial results and "
+                "a shard summary naming what is missing.  While the job is queued or running "
+                "the route answers 202 with the status document; a failed job (every shard "
+                "failed) answers 409 with the error."
             ),
             handler=job_results,
             response_schema=schemas.JOB_RESULTS_SCHEMA,
+        ),
+        Route(
+            method="DELETE",
+            path="/v1/jobs/{job_id}",
+            name="cancelJob",
+            summary="Cancel a queued or running job",
+            description=(
+                "Requests cooperative cancellation: a queued job is cancelled immediately; "
+                "a running job stops at the next shard boundary (the in-flight shard "
+                "finishes or times out, remaining shards are marked cancelled) and keeps "
+                "every already-completed shard's results available as partial results.  "
+                "Answers 202 with the status document when the request took effect, 409 "
+                "when the job is already terminal, 404 for unknown job ids."
+            ),
+            handler=cancel_job,
+            response_schema=schemas.JOB_STATUS_SCHEMA,
+            success_status=202,
         ),
         Route(
             method="GET",

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "SWEEP_REQUEST_SCHEMA",
+    "SHARDS_SCHEMA",
     "JOB_ACCEPTED_SCHEMA",
     "JOB_STATUS_SCHEMA",
     "JOB_LIST_SCHEMA",
@@ -83,13 +84,48 @@ SWEEP_REQUEST_SCHEMA: Dict = {
     },
 }
 
+#: Every job lifecycle state (mirrors ``repro.service.jobs.JOB_STATES``).
+_JOB_STATE_ENUM = ["queued", "running", "done", "done_with_errors", "failed", "cancelled"]
+
+#: Every per-shard state (mirrors ``repro.service.jobs.SHARD_STATES``).
+_SHARD_STATE_ENUM = ["pending", "running", "done", "failed", "cancelled"]
+
+#: Per-shard execution summary embedded in status and results documents.
+SHARDS_SCHEMA: Dict = {
+    "type": "object",
+    "description": (
+        "One shard per (geometry, failure model) of the grid; a failed or "
+        "timed-out shard never aborts the job (state done_with_errors, partial results)."
+    ),
+    "properties": {
+        "total": {"type": "integer"},
+        "done": {"type": "integer"},
+        "failed": {"type": "integer"},
+        "cancelled": {"type": "integer"},
+        "retries": {"type": "integer", "description": "Shard attempts beyond each shard's first (transient errors retried with exponential backoff)."},
+        "states": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "properties": {
+                    "geometry": {"type": "string"},
+                    "failure_model": {"type": "string"},
+                    "state": {"type": "string", "enum": _SHARD_STATE_ENUM},
+                    "attempts": {"type": "integer"},
+                    "error": {"type": ["string", "null"]},
+                },
+            },
+        },
+    },
+}
+
 #: ``202 Accepted`` body returned by a successful submission.
 JOB_ACCEPTED_SCHEMA: Dict = {
     "type": "object",
     "required": ["job_id", "state", "links"],
     "properties": {
         "job_id": {"type": "string"},
-        "state": {"type": "string", "enum": ["queued", "running", "done", "failed"]},
+        "state": {"type": "string", "enum": _JOB_STATE_ENUM},
         "links": {
             "type": "object",
             "properties": {
@@ -107,7 +143,7 @@ JOB_STATUS_SCHEMA: Dict = {
     "required": ["job_id", "state", "request", "cells", "shards"],
     "properties": {
         "job_id": {"type": "string"},
-        "state": {"type": "string", "enum": ["queued", "running", "done", "failed"]},
+        "state": {"type": "string", "enum": _JOB_STATE_ENUM},
         "request": {"type": "object", "description": "The submitted sweep request, normalised."},
         "cells": {
             "type": "object",
@@ -119,12 +155,8 @@ JOB_STATUS_SCHEMA: Dict = {
                 "computed": {"type": "integer", "description": "Actually simulated by the engine."},
             },
         },
-        "shards": {
-            "type": "object",
-            "description": "One shard per (geometry, failure model) of the grid.",
-            "properties": {"total": {"type": "integer"}, "done": {"type": "integer"}},
-        },
-        "error": {"type": ["string", "null"], "description": "Failure message when state is failed."},
+        "shards": SHARDS_SCHEMA,
+        "error": {"type": ["string", "null"], "description": "Failure summary when state is failed, done_with_errors or cancelled."},
         "created": {"type": "number"},
         "started": {"type": ["number", "null"]},
         "finished": {"type": ["number", "null"]},
@@ -145,9 +177,10 @@ JOB_RESULTS_SCHEMA: Dict = {
     "properties": {
         "job_id": {"type": "string"},
         "state": {"type": "string"},
+        "shards": SHARDS_SCHEMA,
         "results": {
             "type": "array",
-            "description": "One entry per (geometry, failure model) shard, in submission order.",
+            "description": "One entry per completed (geometry, failure model) shard, in completion order; done_with_errors and cancelled jobs carry the completed subset only.",
             "items": {
                 "type": "object",
                 "properties": {
@@ -196,7 +229,9 @@ HEALTH_SCHEMA: Dict = {
                 "queued": {"type": "integer"},
                 "running": {"type": "integer"},
                 "done": {"type": "integer"},
+                "done_with_errors": {"type": "integer"},
                 "failed": {"type": "integer"},
+                "cancelled": {"type": "integer"},
             },
         },
         "uptime_seconds": {"type": "number"},
@@ -227,7 +262,12 @@ OPENAPI_DOCUMENT_SCHEMA: Dict = {
 #: ``GET /metrics`` — Prometheus text exposition format, not JSON.
 METRICS_TEXT_SCHEMA: Dict = {
     "type": "string",
-    "description": "Prometheus text exposition: rcm_jobs_total{state=...}, rcm_cells_cached_total, rcm_cells_computed_total, rcm_store_cells, rcm_uptime_seconds.",
+    "description": (
+        "Prometheus text exposition: rcm_jobs_total{state=...}, rcm_cells_cached_total, "
+        "rcm_cells_computed_total, rcm_store_cells, rcm_shard_retries_total, "
+        "rcm_jobs_rejected_total{reason=...}, rcm_queue_depth, "
+        "rcm_job_duration_seconds_{count,sum,max}{state=...}, rcm_uptime_seconds."
+    ),
 }
 
 

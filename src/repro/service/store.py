@@ -31,14 +31,29 @@ import math
 import os
 import sqlite3
 import threading
+import time
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..dht.metrics import RoutingMetrics
 from ..dht.routing import FailureReason
 from ..exceptions import ResultStoreError
 from ..sim.engine import SweepCell, SweepCellResult
+from .faults import NO_FAULTS, FaultRegistry
 
 __all__ = ["STORE_SCHEMA_VERSION", "cell_store_key", "ResultStore"]
+
+#: How many times a transient SQLite ``database is locked``/``busy`` error
+#: is retried (with exponential backoff) before surfacing as a
+#: :class:`~repro.exceptions.ResultStoreError`.
+_BUSY_RETRIES = 5
+#: First backoff (seconds); doubles per retry.
+_BUSY_BACKOFF = 0.02
+
+
+def _is_busy_error(error: sqlite3.Error) -> bool:
+    """Whether a SQLite error is transient cross-process lock contention."""
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
 
 #: Bumped whenever the key derivation or payload layout changes; stores
 #: written under a different version refuse to open rather than silently
@@ -151,16 +166,51 @@ class ResultStore:
     consumes: :meth:`get_cells` / :meth:`put_cells`.
     """
 
-    def __init__(self, path: str, connection: sqlite3.Connection) -> None:
+    def __init__(
+        self,
+        path: str,
+        connection: sqlite3.Connection,
+        *,
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
         self.path = path
         self._connection = connection
         self._lock = threading.Lock()
+        self._faults = faults if faults is not None else NO_FAULTS
+
+    def _retrying(self, operation: str, apply, *, site: Optional[str] = None):
+        """Run ``apply()`` with bounded-backoff retries on transient SQLite
+        lock contention (``database is locked``/``busy`` — real or injected
+        via the ``store-read``/``store-write`` fault sites); anything else
+        surfaces immediately as a :class:`ResultStoreError`.
+
+        Caller must hold ``self._lock``; retries happen under it, which is
+        correct because the contention being retried is *cross-process*
+        (SQLite file locks), never this process's own threads.
+        """
+        for attempt in range(_BUSY_RETRIES + 1):
+            try:
+                if site is not None:
+                    self._faults.fire(site)
+                return apply()
+            except sqlite3.OperationalError as error:
+                if _is_busy_error(error) and attempt < _BUSY_RETRIES:
+                    self._connection.rollback()
+                    time.sleep(_BUSY_BACKOFF * (2**attempt))
+                    continue
+                raise ResultStoreError(
+                    f"result store {self.path!r} {operation} failed: {error}"
+                ) from error
+            except sqlite3.Error as error:
+                raise ResultStoreError(
+                    f"result store {self.path!r} {operation} failed: {error}"
+                ) from error
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, path: str) -> "ResultStore":
+    def open(cls, path: str, *, faults: Optional[FaultRegistry] = None) -> "ResultStore":
         """Open (creating if needed) the result store at ``path``.
 
         Creates missing parent directories, initialises the schema, and
@@ -213,7 +263,7 @@ class ResultStore:
                 f"result store {path!r} is not writable: {error}. "
                 "Check the path and filesystem permissions, or pass a different --store path."
             ) from error
-        return cls(path, connection)
+        return cls(path, connection, faults=faults)
 
     def close(self) -> None:
         """Close the underlying database connection (idempotent)."""
@@ -253,20 +303,24 @@ class ResultStore:
         }
         recalled: Dict[SweepCell, SweepCellResult] = {}
         keys = list(keyed)
-        with self._lock:
-            try:
-                # SQLite caps the number of bound parameters; chunk the IN list.
-                for start in range(0, len(keys), 400):
-                    chunk = keys[start : start + 400]
-                    placeholders = ",".join("?" for _ in chunk)
-                    rows = self._execute(
+
+        def _read():
+            rows = []
+            # SQLite caps the number of bound parameters; chunk the IN list.
+            for start in range(0, len(keys), 400):
+                chunk = keys[start : start + 400]
+                placeholders = ",".join("?" for _ in chunk)
+                rows.extend(
+                    self._execute(
                         f"SELECT key, payload FROM cells WHERE key IN ({placeholders})", chunk
                     ).fetchall()
-                    for key, payload in rows:
-                        cell = keyed[key]
-                        recalled[cell] = _result_from_payload(cell, payload)
-            except sqlite3.Error as error:
-                raise ResultStoreError(f"result store {self.path!r} read failed: {error}") from error
+                )
+            return rows
+
+        with self._lock:
+            for key, payload in self._retrying("read", _read, site="store-read"):
+                cell = keyed[key]
+                recalled[cell] = _result_from_payload(cell, payload)
         return recalled
 
     def put_cells(
@@ -290,15 +344,16 @@ class ResultStore:
         ]
         if not rows:
             return
+
+        def _write():
+            self._execute("BEGIN")
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO cells (key, payload) VALUES (?, ?)", rows
+            )
+            self._connection.commit()
+
         with self._lock:
-            try:
-                self._execute("BEGIN")
-                self._connection.executemany(
-                    "INSERT OR REPLACE INTO cells (key, payload) VALUES (?, ?)", rows
-                )
-                self._connection.commit()
-            except sqlite3.Error as error:
-                raise ResultStoreError(f"result store {self.path!r} write failed: {error}") from error
+            self._retrying("write", _write, site="store-write")
 
     # ------------------------------------------------------------------ #
     # introspection (health/metrics endpoints)
@@ -306,10 +361,11 @@ class ResultStore:
     def __len__(self) -> int:
         """Number of cached cells."""
         with self._lock:
-            try:
-                return int(self._execute("SELECT COUNT(*) FROM cells").fetchone()[0])
-            except sqlite3.Error as error:
-                raise ResultStoreError(f"result store {self.path!r} read failed: {error}") from error
+            return int(
+                self._retrying(
+                    "read", lambda: self._execute("SELECT COUNT(*) FROM cells").fetchone()
+                )[0]
+            )
 
     def describe(self) -> Mapping[str, object]:
         """A JSON-safe summary of the store for the health endpoint."""

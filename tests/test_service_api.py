@@ -103,7 +103,14 @@ class TestEndToEndSmoke:
             final = wait_for_state(port, job_id)
             assert final["state"] == "done"
             assert final["cells"] == {"total": 4, "done": 4, "cached": 0, "computed": 4}
-            assert final["shards"] == {"total": 1, "done": 1}
+            shards = final["shards"]
+            assert shards["total"] == 1 and shards["done"] == 1
+            assert shards["failed"] == 0 and shards["cancelled"] == 0
+            assert shards["retries"] == 0
+            (shard_state,) = shards["states"]
+            assert shard_state["state"] == "done"
+            assert shard_state["attempts"] == 1
+            assert shard_state["error"] is None
 
             status, results = request(port, "GET", f"/v1/jobs/{job_id}/results")
             assert status == 200

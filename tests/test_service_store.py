@@ -212,3 +212,51 @@ class TestSweepRunnerIntegration:
                 runner.sweep("ring", 6, [0.1])
                 assert runner.last_run_stats.store_hits == 0
                 assert runner.last_run_stats.computed == 1
+
+
+class TestBusyRetryDeterminism:
+    """The determinism guard: transient ``database is locked`` faults on the
+    store's read and write paths are retried transparently and can never
+    change a measured number — the surviving rows are bit-identical to a
+    fault-free run, and the persisted cells recall bit-identically too."""
+
+    @staticmethod
+    def _locked():
+        return sqlite3.OperationalError("database is locked")
+
+    def test_sweep_through_a_flaky_store_is_bit_identical(self, tmp_path):
+        from repro.service.faults import FaultRegistry
+
+        grid = ("ring", 6, [0.1, 0.3])
+        with SweepRunner(pairs=40, replicates=2, base_seed=11) as runner:
+            reference = runner.sweep(*grid).as_rows()
+
+        faults = FaultRegistry()
+        # Every store interaction of the sweep faults once before passing.
+        faults.arm("store-read", "raise-n", times=2, error=self._locked)
+        faults.arm("store-write", "raise-n", times=2, error=self._locked)
+        path = tmp_path / "cells.db"
+        with ResultStore.open(path, faults=faults) as store:
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                flaky_rows = runner.sweep(*grid).as_rows()
+                assert runner.last_run_stats.computed == 4
+        assert flaky_rows == reference
+        assert faults.hits("store-read") >= 2  # the retries actually happened
+        assert faults.hits("store-write") >= 2
+
+        # The cells persisted through the faulted writes recall bit-identically.
+        with ResultStore.open(path) as store:
+            with SweepRunner(pairs=40, replicates=2, base_seed=11, cell_store=store) as runner:
+                recalled = runner.sweep(*grid).as_rows()
+                assert runner.last_run_stats.computed == 0
+                assert runner.last_run_stats.store_hits == 4
+        assert recalled == reference
+
+    def test_busy_exhaustion_is_an_error_not_silent_data_loss(self, tmp_path):
+        from repro.service.faults import FaultRegistry
+
+        faults = FaultRegistry()
+        faults.arm("store-read", "raise-n", times=20, error=self._locked)
+        with ResultStore.open(tmp_path / "cells.db", faults=faults) as store:
+            with pytest.raises(ResultStoreError, match="database is locked"):
+                store.get_cells([_cell()], pairs=50, base_seed=7)
