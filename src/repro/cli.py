@@ -30,7 +30,12 @@ Subcommands
     JSON file (non-finite metrics serialize as ``null``).  ``--store PATH``
     attaches the persistent result store: cells already cached there (by
     any earlier run or a running service) are recalled without simulation,
-    and fresh cells are written back.
+    and fresh cells are written back.  ``--churn-trace PATH`` switches to
+    trace-driven churn replay (``--q`` becomes optional): the recorded
+    join/leave events drive per-step routability measurements, the routing
+    state is delta-patched between steps, ``--churn-repair-every`` sets the
+    repair period, and ``--profile`` then prints the churn phase breakdown
+    (mask delta, state update, kernel hops, reduction).
 ``rcm serve --store sweeps.db``
     Launch the asynchronous sweep service (see ``docs/api.md``): submit
     sweep grids over HTTP, poll or stream job results, share one
@@ -56,7 +61,7 @@ from .core.routability import compare_geometries, routability
 from .core.scalability import scalability_report
 from .dht import OVERLAY_CLASSES
 from .dht.failures import FAILURE_MODEL_KINDS
-from .exceptions import ResultStoreError
+from .exceptions import InvalidParameterError, ResultStoreError
 from .experiments import ExperimentConfig, list_experiments, run_experiment
 from .report.tables import render_table
 from .sim.backends import BACKEND_CHOICES, available_backends
@@ -116,7 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     # Bruijn/Koorde geometry), not the analytical registry.
     simulate_parser.add_argument("--geometry", required=True, choices=sorted(OVERLAY_CLASSES))
     simulate_parser.add_argument("--d", type=int, default=10, help="identifier length (N = 2^d)")
-    simulate_parser.add_argument("--q", type=float, nargs="+", required=True, help="failure probabilities")
+    simulate_parser.add_argument(
+        "--q",
+        type=float,
+        nargs="+",
+        help="failure probabilities (required unless --churn-trace is given)",
+    )
     simulate_parser.add_argument("--pairs", type=int, default=1000)
     simulate_parser.add_argument("--trials", type=int, default=3)
     simulate_parser.add_argument("--seed", type=int, default=PairWorkload().seed)
@@ -130,6 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
             "subtree, or a uniform+regional composite; the --q values are the model's "
             "severities"
         ),
+    )
+    simulate_parser.add_argument(
+        "--churn-trace",
+        metavar="PATH",
+        help=(
+            "replay a recorded churn trace (rcm-churn-trace v1 file) instead of "
+            "sweeping static failure probabilities: nodes join and leave as the "
+            "trace dictates, --pairs pairs are routed among usable nodes each "
+            "step, and the routing state is delta-patched between steps"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--churn-repair-every",
+        type=int,
+        metavar="STEPS",
+        help="re-establish routing tables every STEPS churn steps (with --churn-trace)",
     )
     _add_engine_arguments(simulate_parser)
     simulate_parser.add_argument(
@@ -363,10 +389,10 @@ def _command_compare(arguments: argparse.Namespace) -> str:
     )
 
 
-def _profile_rows(profile) -> list:
+def _profile_rows(profile, known=PROFILE_PHASES) -> list:
     """Per-phase profile rows in canonical phase order (known phases first)."""
-    ordered = [phase for phase in PROFILE_PHASES if phase in profile]
-    ordered += sorted(set(profile) - set(PROFILE_PHASES))
+    ordered = [phase for phase in known if phase in profile]
+    ordered += sorted(set(profile) - set(known))
     total = sum(profile.values()) or 1.0
     return [
         {
@@ -391,7 +417,86 @@ def _json_safe(value: object) -> object:
     return value
 
 
+def _simulate_churn_trace(arguments: argparse.Namespace) -> str:
+    """``rcm simulate --churn-trace``: replay a recorded churn trace.
+
+    The trace dictates the join/leave events; ``--pairs`` pairs are routed
+    among usable nodes each step (batch engine: one routing state carried
+    across steps and delta-patched with each step's events).  ``--profile``
+    prints the churn phase breakdown (:data:`CHURN_PROFILE_PHASES`).
+    """
+    from .exceptions import InvalidParameterError
+    from .sim.churn import CHURN_PROFILE_PHASES, ChurnConfig, simulate_churn
+    from .sim.static_resilience import build_overlay
+    from .workloads.traces import load_trace
+
+    try:
+        trace = load_trace(arguments.churn_trace)
+    except OSError as error:
+        raise InvalidParameterError(
+            f"cannot read churn trace {arguments.churn_trace!r}: "
+            f"{error.strerror or error}"
+        ) from error
+    overlay = build_overlay(arguments.geometry, arguments.d, seed=arguments.seed)
+    config = ChurnConfig(
+        pairs_per_step=arguments.pairs,
+        trace=trace,
+        repair_every=arguments.churn_repair_every,
+    )
+    profile = {} if arguments.profile and arguments.engine == "batch" else None
+    result = simulate_churn(
+        overlay,
+        config,
+        seed=arguments.seed,
+        engine=arguments.engine,
+        batch_size=arguments.batch_size,
+        backend=arguments.backend,
+        profile=profile,
+    )
+    rows = result.as_rows()
+    sections = [
+        render_table(
+            rows,
+            title=(
+                f"Trace-driven churn: {arguments.geometry} overlay, N=2^{arguments.d}, "
+                f"{trace.n_events} events over {trace.n_steps} steps"
+            ),
+        )
+    ]
+    if arguments.profile:
+        if profile:
+            sections.append("")
+            sections.append(
+                render_table(
+                    _profile_rows(profile, known=CHURN_PROFILE_PHASES),
+                    title="[profile] per-phase wall time",
+                )
+            )
+        else:
+            sections.append("")
+            sections.append("note: --profile requires the batch engine; no phases were timed")
+    if arguments.json:
+        import json
+
+        payload = {
+            "geometry": arguments.geometry,
+            "d": arguments.d,
+            "churn_trace": arguments.churn_trace,
+            "repair_every": arguments.churn_repair_every,
+            "engine": arguments.engine,
+            "backend": arguments.backend,
+            "rows": rows,
+            "profile": profile,
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_safe(payload), handle, indent=2, allow_nan=False)
+            handle.write("\n")
+    return "\n".join(sections)
+
+
 def _command_simulate(arguments: argparse.Namespace) -> str:
+    if arguments.churn_trace:
+        return _simulate_churn_trace(arguments)
     # The batch engine always sweeps through the SweepRunner (not the
     # sequential-stream driver) so the printed numbers are identical for
     # every --workers value and both --fused/--per-cell dispatch modes.
@@ -536,6 +641,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = build_parser()
     arguments = parser.parse_args(list(argv) if argv is not None else None)
+    if arguments.command == "simulate" and not arguments.q and not arguments.churn_trace:
+        parser.error("simulate requires --q (or --churn-trace for trace-driven churn)")
     try:
         if arguments.command == "list":
             output = _command_list()
@@ -556,7 +663,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:  # pragma: no cover - argparse enforces the choices
             parser.error(f"unknown command {arguments.command!r}")
             return 2
-    except ResultStoreError as error:
+    except (InvalidParameterError, ResultStoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:

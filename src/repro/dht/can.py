@@ -139,6 +139,31 @@ def _hypercube_prepare(view, alive: np.ndarray) -> SpecState:
     return SpecState(table=None, consts=(d,), arrays=(alive_bits,))
 
 
+def _hypercube_update(view, state, alive, joined, left):
+    """Patch the aliveness bitset in place: one bit per (changed node, dimension).
+
+    A churn event at node ``x`` flips bit ``j`` of exactly the ``d``
+    neighbour rows ``x ^ 2^j`` — O(events × d) scatter writes instead of the
+    full O(n × d) rebuild.  Rows are maintained for dead nodes too (a row
+    tracks its *neighbours'* aliveness, not its own), exactly as
+    :func:`_hypercube_prepare` computes them, so a later rejoin needs no
+    row reconstruction.  Within one dimension the patched indices are
+    distinct (``x ^ 2^j`` is injective in ``x``), so the fancy-indexed
+    ``|=`` / ``&=`` never collide.
+    """
+    (d,) = state.consts
+    (alive_bits,) = state.arrays
+    dtype = alive_bits.dtype
+    alive_bits.setflags(write=True)
+    for j in range(d):
+        if left.size:
+            alive_bits[left ^ (1 << j)] &= dtype.type(~(1 << j))
+        if joined.size:
+            alive_bits[joined ^ (1 << j)] |= dtype.type(1 << j)
+    alive_bits.setflags(write=False)
+    return state
+
+
 def _hypercube_advance(ops):
     """Greedy bit correction: the scalar min-identifier rule as bit arithmetic.
 
@@ -172,5 +197,6 @@ register_kernel_spec(
         fail_code=FAILURE_CODES[FailureReason.DEAD_END],
         prepare=_hypercube_prepare,
         advance=_hypercube_advance,
+        update=_hypercube_update,
     )
 )

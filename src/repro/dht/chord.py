@@ -22,7 +22,14 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
-from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec, ring_modulus
+from ..sim.kernelspec import (
+    KernelSpec,
+    SpecState,
+    referencing_positions,
+    register_kernel_spec,
+    reverse_neighbor_index,
+    ring_modulus,
+)
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, ring_distance
 from .network import Overlay, make_rng, register_overlay
@@ -147,6 +154,34 @@ def _ring_prepare(view, alive: np.ndarray) -> SpecState:
     return SpecState(table=masked, consts=(ring_modulus(view),), arrays=())
 
 
+def _ring_update(view, state, alive, joined, left):
+    """Patch exactly the masked-table entries referencing the changed nodes.
+
+    Mirror image of the XOR delta (see ``kademlia._xor_update``) with the
+    ring's mask value: a leaver's referencing positions are rewritten to
+    their own *row* identifier — ``position // degree``, the zero-progress
+    self entry :func:`_ring_prepare` uses — and a rejoiner's back to the
+    node itself (the pristine value at any position referencing ``x`` is
+    ``x``).  The reverse-neighbour index is built on the first delta and
+    carried in the ``arrays`` scratch that scan executors never read.
+    """
+    if state.arrays:
+        starts, order = state.arrays
+    else:
+        starts, order = reverse_neighbor_index(view)
+    table = state.table
+    table.setflags(write=True)
+    flat = table.reshape(-1)
+    if left.size:
+        positions, _ = referencing_positions(starts, order, left)
+        flat[positions] = (positions // table.shape[1]).astype(table.dtype, copy=False)
+    if joined.size:
+        positions, counts = referencing_positions(starts, order, joined)
+        flat[positions] = np.repeat(joined, counts).astype(table.dtype, copy=False)
+    table.setflags(write=False)
+    return SpecState(table=table, consts=state.consts, arrays=(starts, order))
+
+
 def _ring_key(ops):
     """Remaining clockwise distance after the hop; unusable candidates map to
     the modulus, which every real key (``<= modulus - 2``) undercuts.
@@ -190,6 +225,7 @@ def make_ring_spec(geometry: str) -> KernelSpec:
         prepare=_ring_prepare,
         key=_ring_key,
         accept=_ring_accept,
+        update=_ring_update,
     )
 
 

@@ -36,7 +36,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec
+from ..sim.kernelspec import KernelSpec, SpecState, identity_update, register_kernel_spec
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace
 from .network import Overlay, make_rng, register_overlay
@@ -151,7 +151,9 @@ def _debruijn_prepare(view, alive: np.ndarray) -> SpecState:
     there, and adds the offset back — no table is ever gathered.  The one
     state array is a single-element dtype witness: per-pair executors read
     their routing-state dtype (int32 for any realistic space) from
-    ``arrays[0]`` without this spec paying a per-batch table copy.
+    ``arrays[0]`` without this spec paying a per-batch table copy.  The
+    state is mask-independent, so its incremental update is
+    :func:`identity_update`.
     """
     d = view.d
     dtype = np.int32 if alive.size <= np.iinfo(np.int32).max // 2 else np.int64
@@ -195,5 +197,6 @@ register_kernel_spec(
         fail_code=FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED],
         prepare=_debruijn_prepare,
         advance=_debruijn_advance,
+        update=identity_update,
     )
 )

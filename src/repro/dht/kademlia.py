@@ -21,7 +21,14 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
-from ..sim.kernelspec import KernelSpec, SpecState, distance_sentinel, register_kernel_spec
+from ..sim.kernelspec import (
+    KernelSpec,
+    SpecState,
+    distance_sentinel,
+    referencing_positions,
+    register_kernel_spec,
+    reverse_neighbor_index,
+)
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, xor_distance
 from .network import Overlay, make_rng, register_overlay
@@ -134,6 +141,36 @@ def _xor_prepare(view, alive: np.ndarray) -> SpecState:
     return SpecState(table=masked, consts=(sentinel,), arrays=())
 
 
+def _xor_update(view, state, alive, joined, left):
+    """Patch exactly the masked-table entries referencing the changed nodes.
+
+    A reverse-neighbour index (built on the first delta, carried in the
+    state's ``arrays`` scratch — scan executors never read it) lists every
+    flat table position referencing a node, so a churn event costs
+    O(in-degree) scatter writes: a leaver's positions are rewritten to the
+    sentinel, a rejoiner's back to the node itself — by construction the
+    pristine value at any position referencing ``x`` *is* ``x``, so no
+    pristine-table read is needed.  Dead rows are patched too, keeping every
+    row consistent with the current mask exactly as a full
+    :func:`_xor_prepare` would.
+    """
+    if state.arrays:
+        starts, order = state.arrays
+    else:
+        starts, order = reverse_neighbor_index(view)
+    table = state.table
+    table.setflags(write=True)
+    flat = table.reshape(-1)
+    if left.size:
+        positions, _ = referencing_positions(starts, order, left)
+        flat[positions] = table.dtype.type(state.consts[0])
+    if joined.size:
+        positions, counts = referencing_positions(starts, order, joined)
+        flat[positions] = np.repeat(joined, counts).astype(table.dtype, copy=False)
+    table.setflags(write=False)
+    return SpecState(table=table, consts=state.consts, arrays=(starts, order))
+
+
 def _xor_key(ops):
     """XOR distance to the destination; distinct across distinct neighbours,
     so equal keys imply the same (duplicated) table entry."""
@@ -161,5 +198,6 @@ register_kernel_spec(
         prepare=_xor_prepare,
         key=_xor_key,
         accept=_xor_accept,
+        update=_xor_update,
     )
 )

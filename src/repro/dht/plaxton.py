@@ -31,7 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import TopologyError
-from ..sim.kernelspec import KernelSpec, SpecState, register_kernel_spec
+from ..sim.kernelspec import KernelSpec, SpecState, identity_update, register_kernel_spec
 from ..validation import check_identifier_length
 from .identifiers import IdentifierSpace, highest_differing_bit
 from .network import Overlay, make_rng, register_overlay
@@ -143,7 +143,14 @@ class PlaxtonOverlay(Overlay):
 # kernel spec — the one batch declaration of the tree routing rule
 # --------------------------------------------------------------------- #
 def _tree_prepare(view, alive: np.ndarray) -> SpecState:
-    """Tree routing needs only the bit-indexed tables and the identifier length."""
+    """Tree routing needs only the bit-indexed tables and the identifier length.
+
+    The state is mask-independent (aliveness is looked up per hop via
+    ``ops.alive``), so its incremental update is :func:`identity_update` —
+    a churn delta costs nothing beyond the executor refreshing its own
+    aliveness handle.  The pristine table is *not* owned by the state and
+    must never be patched.
+    """
     return SpecState(table=None, consts=(view.d,), arrays=(view.neighbor_array(),))
 
 
@@ -173,5 +180,6 @@ register_kernel_spec(
         fail_code=FAILURE_CODES[FailureReason.REQUIRED_NEIGHBOR_FAILED],
         prepare=_tree_prepare,
         advance=_tree_advance,
+        update=identity_update,
     )
 )

@@ -20,6 +20,7 @@ from .xor_vs_tree_ablation import XorVersusTreeAblation
 from .percolation_vs_routability import PercolationVersusRoutability
 from .churn_applicability import ChurnApplicability
 from .failure_modes import FailureModeComparison
+from .trace_churn import TraceChurn
 
 __all__ = [
     "Experiment",
@@ -40,4 +41,5 @@ __all__ = [
     "PercolationVersusRoutability",
     "ChurnApplicability",
     "FailureModeComparison",
+    "TraceChurn",
 ]

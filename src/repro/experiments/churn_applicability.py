@@ -105,8 +105,9 @@ class ChurnApplicability(Experiment):
                 "Between repairs the effective failure probability grows with time; evaluating the "
                 "static RCM expression at q_eff(t) tracks the measured routability throughout the "
                 "epoch, supporting the transfer of the paper's static conclusions to churn.",
-                "Under the batch engine every step's usable-mask routing is fused into one "
-                "stacked-mask kernel invocation per epoch (repro.sim.engine.route_pairs_stacked); "
-                "metrics are bit-identical to routing each step separately.",
+                "Under the batch engine the routing state is carried across steps and "
+                "delta-patched with each step's join/leave events (the KernelSpec update "
+                "hooks); metrics are bit-identical to rebuilding the state every step, "
+                "which the conformance harness's incremental-parity axis enforces.",
             ),
         )

@@ -17,6 +17,7 @@ from .xor_vs_tree_ablation import XorVersusTreeAblation
 from .percolation_vs_routability import PercolationVersusRoutability
 from .churn_applicability import ChurnApplicability
 from .failure_modes import FailureModeComparison
+from .trace_churn import TraceChurn
 
 __all__ = ["EXPERIMENTS", "list_experiments", "get_experiment", "run_experiment"]
 
@@ -35,6 +36,7 @@ EXPERIMENTS: Dict[str, Type[Experiment]] = {
         PercolationVersusRoutability,
         ChurnApplicability,
         FailureModeComparison,
+        TraceChurn,
     )
 }
 

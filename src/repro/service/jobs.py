@@ -130,6 +130,11 @@ class SweepJobRequest:
     pairs: int
     trials: int
     seed: int
+    #: Trace-driven churn parameters as a sorted ``(key, value)`` tuple —
+    #: hashable so the frozen request stays usable as a dict key; ``None``
+    #: for ordinary static sweeps.  See the ``churn`` object of
+    #: :data:`SWEEP_REQUEST_SCHEMA`.
+    churn: Optional[Tuple[Tuple[str, object], ...]] = None
 
     @classmethod
     def from_payload(
@@ -146,19 +151,27 @@ class SweepJobRequest:
         if errors:
             raise ServiceError("invalid sweep request: " + "; ".join(errors))
         assert isinstance(payload, dict)  # guaranteed by the schema check
+        churn = payload.get("churn")
+        if churn is None and "q" not in payload:
+            raise ServiceError("invalid sweep request: body: 'q' is required unless 'churn' is given")
         return cls(
             geometries=tuple(payload["geometries"]),
             d=int(payload["d"]),
-            q=tuple(float(value) for value in payload["q"]),
-            failure_models=tuple(payload.get("failure_models", ("uniform",))),
+            q=tuple(float(value) for value in payload.get("q", ())),
+            failure_models=(
+                ("churn",)
+                if churn is not None
+                else tuple(payload.get("failure_models", ("uniform",)))
+            ),
             pairs=int(payload.get("pairs", default_pairs)),
             trials=int(payload.get("trials", default_trials)),
             seed=int(payload.get("seed", default_seed)),
+            churn=None if churn is None else tuple(sorted(churn.items())),
         )
 
     def as_payload(self) -> Dict[str, object]:
         """The normalised request as a JSON-safe mapping (echoed in statuses)."""
-        return {
+        payload: Dict[str, object] = {
             "geometries": list(self.geometries),
             "d": self.d,
             "q": list(self.q),
@@ -167,15 +180,25 @@ class SweepJobRequest:
             "trials": self.trials,
             "seed": self.seed,
         }
+        if self.churn is not None:
+            payload["churn"] = dict(self.churn)
+        return payload
 
     @property
     def cells_total(self) -> int:
-        """Number of grid cells the submission expands to."""
+        """Number of grid cells the submission expands to.
+
+        A churn shard counts one cell per simulated step (each step is one
+        measured row, the churn analogue of a grid point).
+        """
+        if self.churn is not None:
+            return len(self.geometries) * int(dict(self.churn)["steps"])
         return len(self.geometries) * len(self.failure_models) * self.trials * len(self.q)
 
     @property
     def shards(self) -> List[Tuple[str, str]]:
-        """The job's shard plan: one ``(geometry, failure_model)`` per shard."""
+        """The job's shard plan: one ``(geometry, failure_model)`` per shard
+        (churn submissions shard per geometry, labelled ``churn``)."""
         return [(geometry, model) for geometry in self.geometries for model in self.failure_models]
 
 
@@ -683,6 +706,63 @@ class JobManager:
             self._runners.pop(key, None)
             self._runner_locks.pop(key, None)
 
+    def _churn_shard(self, request: SweepJobRequest, geometry: str) -> Dict[str, object]:
+        """Run one trace-driven churn shard (the ``churn`` submission branch).
+
+        Churn shards bypass the sweep runner entirely: there is no grid to
+        fan out and no cell cache to consult — the trace is regenerated
+        deterministically from the request seed, so reruns are free to
+        reproduce the rows bit-identically anyway.  The routing state is
+        carried across steps and delta-patched (``state_mode="incremental"``,
+        the default), so a shard costs O(events) state work per step.
+        """
+        from ..sim.churn import ChurnConfig, simulate_churn
+        from ..sim.static_resilience import build_overlay
+        from ..workloads.traces import markov_trace, pareto_session_trace
+
+        churn = dict(request.churn)
+        overlay = build_overlay(geometry, request.d, seed=request.seed)
+        steps = int(churn["steps"])
+        if churn["generator"] == "markov":
+            trace = markov_trace(
+                overlay.n_nodes,
+                steps,
+                leave_probability=float(churn.get("leave_probability", 0.02)),
+                rejoin_probability=float(churn.get("rejoin_probability", 0.05)),
+                seed=request.seed,
+            )
+        else:
+            trace = pareto_session_trace(
+                overlay.n_nodes,
+                steps,
+                shape=float(churn.get("shape", 1.5)),
+                mean_online=float(churn.get("mean_online", 20.0)),
+                mean_offline=float(churn.get("mean_offline", 5.0)),
+                seed=request.seed,
+            )
+        config = ChurnConfig(
+            pairs_per_step=int(churn.get("pairs_per_step", request.pairs)),
+            trace=trace,
+            repair_every=(
+                int(churn["repair_every"]) if churn.get("repair_every") is not None else None
+            ),
+        )
+        result = simulate_churn(
+            overlay,
+            config,
+            seed=request.seed,
+            batch_size=self._batch_size,
+            backend=self._backend,
+        )
+        return {
+            "geometry": result.geometry,
+            "d": result.d,
+            "failure_model": "churn",
+            "backend": self._backend,
+            "churn": churn,
+            "rows": result.as_rows(),
+        }
+
     def _attempt_shard(self, job: SweepJob, geometry: str, model: str, outcome: Dict) -> None:
         """One shard attempt (runs on a dedicated watchdog-supervised thread).
 
@@ -692,6 +772,14 @@ class JobManager:
         """
         try:
             self._faults.fire("shard-execute")
+            if job.request.churn is not None:
+                result = self._churn_shard(job.request, geometry)
+                outcome["result"] = result
+                steps = len(result["rows"])
+                outcome["stats"] = SweepRunStats(
+                    requested=steps, memo_hits=0, store_hits=0, computed=steps
+                )
+                return
             key, runner, lock = self._acquire_runner(job.request)
             outcome["runner_key"] = key
             with lock:

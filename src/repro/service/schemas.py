@@ -39,7 +39,7 @@ __all__ = [
 #: exactly as in ``rcm simulate``.
 SWEEP_REQUEST_SCHEMA: Dict = {
     "type": "object",
-    "required": ["geometries", "d", "q"],
+    "required": ["geometries", "d"],
     "additionalProperties": False,
     "properties": {
         "geometries": {
@@ -58,7 +58,69 @@ SWEEP_REQUEST_SCHEMA: Dict = {
             "type": "array",
             "items": {"type": "number"},
             "minItems": 1,
-            "description": "Failure-model severities to sweep (failure probability for the uniform model).",
+            "description": "Failure-model severities to sweep (failure probability for the uniform model). Required unless 'churn' is given.",
+        },
+        "churn": {
+            "type": "object",
+            "additionalProperties": False,
+            "required": ["generator", "steps"],
+            "description": (
+                "Trace-driven churn instead of a static q sweep: each geometry "
+                "becomes one churn shard replaying a deterministically generated "
+                "join/leave trace (seeded from the request seed), with the routing "
+                "state delta-patched between steps; 'q' and 'failure_models' are "
+                "ignored when this is set."
+            ),
+            "properties": {
+                "generator": {
+                    "type": "string",
+                    "enum": ["markov", "pareto"],
+                    "description": "Trace generator: independent two-state Markov chains, or heavy-tailed Pareto online/offline sessions.",
+                },
+                "steps": {
+                    "type": "integer",
+                    "minimum": 1,
+                    "maximum": 100000,
+                    "description": "Churn steps to simulate (one measured row per step).",
+                },
+                "leave_probability": {
+                    "type": "number",
+                    "minimum": 0,
+                    "maximum": 1,
+                    "description": "Markov generator: per-step probability an online node leaves (default 0.02).",
+                },
+                "rejoin_probability": {
+                    "type": "number",
+                    "minimum": 0,
+                    "maximum": 1,
+                    "description": "Markov generator: per-step probability an offline node rejoins (default 0.05).",
+                },
+                "shape": {
+                    "type": "number",
+                    "minimum": 1,
+                    "description": "Pareto generator: tail index of the session-length distribution (must exceed 1; default 1.5).",
+                },
+                "mean_online": {
+                    "type": "number",
+                    "minimum": 1,
+                    "description": "Pareto generator: mean online-session length in steps (default 20).",
+                },
+                "mean_offline": {
+                    "type": "number",
+                    "minimum": 1,
+                    "description": "Pareto generator: mean offline-session length in steps (default 5).",
+                },
+                "pairs_per_step": {
+                    "type": "integer",
+                    "minimum": 1,
+                    "description": "Pairs routed among usable nodes each step (default: the request's 'pairs').",
+                },
+                "repair_every": {
+                    "type": "integer",
+                    "minimum": 1,
+                    "description": "Re-establish routing tables every this many steps (default: never within the run).",
+                },
+            },
         },
         "failure_models": {
             "type": "array",
@@ -191,7 +253,7 @@ JOB_RESULTS_SCHEMA: Dict = {
                     "backend": {"type": ["string", "null"]},
                     "rows": {
                         "type": "array",
-                        "description": "Identical to ResilienceSweepResult.as_rows(): one row per q with routability, failed_path_percent and attempts; degenerate points report null.",
+                        "description": "Identical to ResilienceSweepResult.as_rows(): one row per q with routability, failed_path_percent and attempts; degenerate points report null. Churn shards (submissions with 'churn') instead carry ChurnSimulationResult.as_rows(): one row per step with usable_fraction, measured_routability and attempts.",
                         "items": {
                             "type": "object",
                             "properties": {

@@ -107,6 +107,21 @@ class KernelBackend(abc.ABC):
         :data:`repro.dht.routing.FAILURE_CODES` encoding.
         """
 
+    def update(self, overlay, state, alive: np.ndarray, joined: np.ndarray, left: np.ndarray):
+        """Delta-update a prepared state for a slightly different survival vector.
+
+        ``state`` is a state previously returned by :meth:`prepare` (or by
+        an earlier :meth:`update`) on the same overlay view; ``alive`` is
+        the new full survival vector and ``joined`` / ``left`` index the
+        nodes that changed relative to the vector the state was built for
+        (the :attr:`repro.sim.kernelspec.KernelSpec.update` contract).  The
+        input state is consumed — its arrays may be patched in place — and
+        the returned state must route byte-identically to a fresh
+        :meth:`prepare` under ``alive``.  The base implementation *is* a
+        fresh prepare; backends whose specs carry update hooks override it.
+        """
+        return self.prepare(overlay, alive)
+
     def route(
         self,
         overlay,
@@ -114,9 +129,19 @@ class KernelBackend(abc.ABC):
         destinations: np.ndarray,
         alive: np.ndarray,
         batch_size: Optional[int] = None,
+        *,
+        state=None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Route every pair of one batch, optionally in ``batch_size`` chunks."""
-        state = self.prepare(overlay, alive)
+        """Route every pair of one batch, optionally in ``batch_size`` chunks.
+
+        ``state`` optionally supplies a prepared (or delta-updated) state
+        for ``alive`` — built by this backend's :meth:`prepare` /
+        :meth:`update` on this overlay view — skipping the per-call
+        prepare.  The caller owns the consistency of ``state`` with
+        ``alive``; the incremental churn loop is the intended user.
+        """
+        if state is None:
+            state = self.prepare(overlay, alive)
         n_pairs = sources.size
         if batch_size is None or n_pairs <= batch_size:
             return self.run(overlay, state, sources, destinations)

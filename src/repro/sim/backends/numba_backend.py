@@ -38,6 +38,7 @@ from ..kernelspec import (
     SCALAR_OPS,
     KernelSpec,
     Ops,
+    SpecState,
     get_kernel_spec,
     make_direct_pair_loop,
     make_scan_pair_loop,
@@ -157,7 +158,13 @@ class NumbaBackend(KernelBackend):
         return loop
 
     def prepare(self, overlay, alive: np.ndarray):
-        """Resolve the spec, build its loop, and pack the bit-packed aliveness words."""
+        """Resolve the spec, build its loop, and pack the bit-packed aliveness words.
+
+        The last state element is the *narrowed* :class:`SpecState` — the
+        exact arrays the loop reads — so :meth:`update` can hand it to the
+        spec's delta hook and have in-place patches land where the loop
+        will see them.
+        """
         spec = get_kernel_spec(overlay.geometry_name)
         loop = self._loop_for(spec)
         state = spec.prepare(overlay, alive)
@@ -165,13 +172,31 @@ class NumbaBackend(KernelBackend):
         table = None if state.table is None else _narrowed(state.table, n)
         arrays = tuple(_narrowed(array, n) for array in state.arrays)
         words = pack_alive_words(alive)
-        return spec, loop, table, state.consts, arrays, words
+        narrowed = SpecState(table=table, consts=state.consts, arrays=arrays)
+        return spec, loop, table, state.consts, arrays, words, narrowed
+
+    def update(self, overlay, state, alive: np.ndarray, joined: np.ndarray, left: np.ndarray):
+        """Delta-patch the narrowed spec state and repack the aliveness words.
+
+        The spec's hook patches the loop's own (already narrowed) arrays in
+        place, so no re-narrowing pass is needed; specs without a hook fall
+        back to this backend's full :meth:`prepare` (keeping the narrowing
+        discipline).  Scratch arrays a hook adds to its state (e.g. a
+        reverse-neighbour index) ride along un-narrowed — the loops never
+        read them (scan loops take only ``table``/``consts``).
+        """
+        spec, loop = state[0], state[1]
+        if spec.update is None:
+            return self.prepare(overlay, alive)
+        narrowed = spec.update(overlay, state[6], alive, joined, left)
+        words = pack_alive_words(alive)
+        return spec, loop, narrowed.table, narrowed.consts, narrowed.arrays, words, narrowed
 
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Route all pairs through the compiled (or plain-Python) per-pair hop loop."""
-        spec, loop, table, consts, arrays, words = state
+        spec, loop, table, consts, arrays, words = state[:6]
         pair_dtype = table.dtype if table is not None else (
             arrays[0].dtype if arrays else np.int64
         )

@@ -25,7 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..kernelspec import get_kernel_spec, vector_step
+from ..kernelspec import get_kernel_spec, update_spec_state, vector_step
 from .base import HOP_LIMIT_CODE, SUCCESS_CODE, KernelBackend
 
 __all__ = ["NumpyBackend", "KERNEL_BLOCK"]
@@ -68,15 +68,22 @@ class NumpyBackend(KernelBackend):
     name = "numpy"
 
     def prepare(self, overlay, alive: np.ndarray):
-        """Build the spec's vectorized step function for this mask."""
+        """Build the spec's state and vectorized step function for this mask."""
         spec = get_kernel_spec(overlay.geometry_name)
-        return vector_step(spec, spec.prepare(overlay, alive), alive)
+        spec_state = spec.prepare(overlay, alive)
+        return spec, spec_state, alive, vector_step(spec, spec_state, alive)
+
+    def update(self, overlay, state, alive: np.ndarray, joined: np.ndarray, left: np.ndarray):
+        """Delta-update the spec state and rebuild the step closure over the new mask."""
+        spec, spec_state, _, _ = state
+        spec_state = update_spec_state(spec, overlay, spec_state, alive, joined, left)
+        return spec, spec_state, alive, vector_step(spec, spec_state, alive)
 
     def run(
         self, overlay, state, sources: np.ndarray, destinations: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Advance every pair one hop per vectorized step until all terminate."""
-        step = state
+        step = state[3]
         n_pairs = sources.size
         hop_limit = overlay.hop_limit()
         current = sources.copy()

@@ -5,9 +5,12 @@ of the results derived from this static model to dynamic situations, such as
 churn, is currently under study" (Section 1).  This module implements that
 study as an extension of the reproduction:
 
-* every node alternates between **online** and **offline** states as an
-  independent two-state Markov chain (per-step leave and rejoin
-  probabilities) — the standard discrete-time churn model;
+* every node alternates between **online** and **offline** states — either
+  as an independent two-state Markov chain sampled inline (per-step leave
+  and rejoin probabilities, the standard discrete-time churn model), or by
+  replaying a :class:`~repro.workloads.ChurnTrace` event stream
+  (:attr:`ChurnConfig.trace`): Markov, heavy-tailed Pareto sessions, or a
+  recorded real-world trace;
 * routing tables are repaired only at **repair epochs**: between repairs, a
   routing-table entry is usable only if the referenced node was online at
   the last repair *and* is still online now (fast failure detection, slow
@@ -20,18 +23,48 @@ study as an extension of the reproduction:
       q_eff(t) = (λ / (λ + μ)) · (1 − (1 − λ − μ)^t)
 
   with λ the per-step leave probability and μ the per-step rejoin
-  probability.
+  probability (trace-driven runs report no ``q_eff`` — an arbitrary event
+  stream has no closed form).
 
 The experiment EXT-CHURN measures routability over time on a simulated
 overlay under this process and compares it against the static RCM prediction
 evaluated at ``q_eff(t)`` — quantifying how far the paper's static results
-carry into dynamic settings.
+carry into dynamic settings; EXT-TRACE runs the trace-driven variants.
+
+Incremental prepare-state
+-------------------------
+The batch engine's mask-dependent routing state (sentinel-masked tables,
+aliveness bitsets) used to be rebuilt from scratch at every churn step —
+O(nodes × degree) work even when a single node changed.  The loop now
+carries one backend state across steps and delta-patches it through the
+backend's ``update`` hook (see :attr:`repro.sim.kernelspec.KernelSpec.update`):
+O(events × degree) per step.  ``state_mode="rebuild"`` keeps the
+rebuild-every-step behaviour for verification; both modes are byte-identical
+by the conformance harness's incremental-parity axis, and the speedup is
+gated in ``benchmarks/test_bench_churn.py``.
+
+RNG discipline (the contract this refactor must not move)
+---------------------------------------------------------
+Per step the generator is consumed in exactly this order and nothing else:
+
+1. **one** uniform vector ``generator.random(n_nodes)`` driving the inline
+   Markov chain — skipped entirely in trace mode (replay consumes no
+   randomness);
+2. the survivor-pair sampling draws of
+   :func:`repro.sim.sampling.sample_survivor_pair_arrays`, consumed only
+   when the step samples pairs (at least two usable nodes).
+
+Routing itself consumes no randomness, and ``state_mode`` only changes *how*
+the routing state is produced — so incremental and rebuild runs (and batch
+and scalar engines) consume identical RNG streams and seeded churn numbers
+are unchanged by this refactor (property-tested in ``tests/test_churn.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, MutableMapping, Optional, Tuple
 
 import numpy as np
 
@@ -39,21 +72,37 @@ from ..dht.metrics import RoutingMetrics, summarize_routes
 from ..dht.network import Overlay, make_rng
 from ..exceptions import InvalidParameterError
 from ..validation import check_positive_int, check_probability
-from .engine import BackendLike, check_engine, route_pairs_stacked
+from ..workloads.traces import ChurnTrace
+from .backends import resolve_backend
+from .engine import BackendLike, check_engine, route_pairs
 from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
     "ChurnConfig",
     "ChurnStepResult",
     "ChurnSimulationResult",
+    "CHURN_PROFILE_PHASES",
+    "STATE_MODES",
     "effective_failure_probability",
     "simulate_churn",
 ]
 
+#: Wall-clock phases of one churn run, in reporting order (the churn
+#: counterpart of ``repro.sim.engine.PROFILE_PHASES``): computing the
+#: join/leave delta, delta-patching (or rebuilding) the routing state,
+#: advancing the hop kernels, and reducing per-pair outcomes to metrics.
+CHURN_PROFILE_PHASES = ("mask_delta", "state_update", "kernel_hops", "reduction")
+
+#: How the per-step routing state is produced: ``"incremental"`` carries one
+#: backend state across steps and delta-patches it; ``"rebuild"`` prepares
+#: from scratch at every sampled step (the pre-refactor behaviour, kept for
+#: verification).  Byte-identical by construction.
+STATE_MODES = ("incremental", "rebuild")
+
 
 @dataclass(frozen=True)
 class ChurnConfig:
-    """Parameters of the two-state churn process and of the measurement.
+    """Parameters of the churn process and of the measurement.
 
     Attributes
     ----------
@@ -62,22 +111,44 @@ class ChurnConfig:
     rejoin_probability:
         Per-step probability that an offline node comes back online (μ).
     steps_per_epoch:
-        Number of churn steps simulated after the repair epoch.
+        Number of churn steps simulated after the repair epoch (ignored
+        when a trace drives the run — the trace's ``n_steps`` wins).
     pairs_per_step:
         Routing attempts sampled at every step.
+    trace:
+        Optional :class:`~repro.workloads.ChurnTrace` replacing the inline
+        Markov chain: the run replays the trace's join/leave events instead
+        of drawing them, making arbitrary recorded or generated churn
+        histories a first-class workload.  The probabilities above are
+        ignored while a trace drives the run.
+    repair_every:
+        Optional repair period: every ``repair_every`` steps the routing
+        tables are re-established to the currently-online set (a new repair
+        epoch begins and ``q_eff`` counts from it).  ``None`` keeps the
+        single-epoch behaviour.
     """
 
     leave_probability: float = 0.02
     rejoin_probability: float = 0.05
     steps_per_epoch: int = 20
     pairs_per_step: int = 500
+    trace: Optional[ChurnTrace] = None
+    repair_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_probability(self.leave_probability, "leave_probability")
         check_probability(self.rejoin_probability, "rejoin_probability")
         check_positive_int(self.steps_per_epoch, "steps_per_epoch")
         check_positive_int(self.pairs_per_step, "pairs_per_step")
-        if self.leave_probability == 0.0 and self.rejoin_probability == 0.0:
+        if self.repair_every is not None:
+            check_positive_int(self.repair_every, "repair_every")
+        if self.trace is not None and not isinstance(self.trace, ChurnTrace):
+            raise InvalidParameterError("trace must be a ChurnTrace (or None)")
+        if (
+            self.trace is None
+            and self.leave_probability == 0.0
+            and self.rejoin_probability == 0.0
+        ):
             raise InvalidParameterError(
                 "at least one of leave_probability / rejoin_probability must be positive"
             )
@@ -87,6 +158,13 @@ class ChurnConfig:
         """Long-run fraction of time a node spends offline, λ / (λ + μ)."""
         total = self.leave_probability + self.rejoin_probability
         return self.leave_probability / total
+
+    @property
+    def total_steps(self) -> int:
+        """Steps one run simulates: the trace's length, else ``steps_per_epoch``."""
+        if self.trace is not None:
+            return self.trace.n_steps
+        return self.steps_per_epoch
 
 
 def effective_failure_probability(config: ChurnConfig, steps_since_repair: int) -> float:
@@ -111,20 +189,22 @@ class ChurnStepResult:
     Attributes
     ----------
     step:
-        Steps elapsed since the repair epoch (1-based).
+        Steps elapsed since the start of the run (1-based).
     effective_q:
-        The static-model effective failure probability ``q_eff(step)``.
+        The static-model effective failure probability ``q_eff`` at this
+        step's distance from the last repair — ``None`` for trace-driven
+        runs, which have no closed-form prediction.
     online_fraction:
         Fraction of all nodes currently online.
     usable_fraction:
-        Fraction of nodes that were online at the repair epoch and still are
+        Fraction of nodes that were online at the last repair and still are
         (these are the nodes whose routing-table entries remain usable).
     metrics:
         Measured routing metrics over the sampled pairs at this step.
     """
 
     step: int
-    effective_q: float
+    effective_q: Optional[float]
     online_fraction: float
     usable_fraction: float
     metrics: RoutingMetrics
@@ -137,7 +217,7 @@ class ChurnStepResult:
 
 @dataclass(frozen=True)
 class ChurnSimulationResult:
-    """Per-step routability of one overlay across one repair epoch under churn."""
+    """Per-step routability of one overlay under churn."""
 
     geometry: str
     d: int
@@ -151,6 +231,7 @@ class ChurnSimulationResult:
         nodes) report ``None`` instead of a ``nan`` routability; the
         ``attempts`` column makes the zero-attempt case explicit, so the
         rows stay valid under strict JSON and clean in CSV/text reports.
+        Trace-driven runs report a ``None`` ``effective_q``.
         """
         return [
             {
@@ -164,6 +245,24 @@ class ChurnSimulationResult:
         ]
 
 
+class _ChurnClock:
+    """Tiny phase accumulator for the churn loop (the PR-3 profiler shape)."""
+
+    def __init__(self, sink: Optional[MutableMapping[str, float]]) -> None:
+        self._sink = sink
+        self._mark = 0.0
+
+    def start(self) -> None:
+        if self._sink is not None:
+            self._mark = time.perf_counter()
+
+    def stop(self, phase: str) -> None:
+        if self._sink is not None:
+            now = time.perf_counter()
+            self._sink[phase] = self._sink.get(phase, 0.0) + (now - self._mark)
+            self._mark = now
+
+
 def simulate_churn(
     overlay: Overlay,
     config: ChurnConfig,
@@ -173,93 +272,125 @@ def simulate_churn(
     engine: str = "batch",
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
+    state_mode: str = "incremental",
+    profile: Optional[MutableMapping[str, float]] = None,
 ) -> ChurnSimulationResult:
-    """Simulate one repair epoch of churn on ``overlay`` and measure routability per step.
+    """Simulate churn on ``overlay`` and measure routability per step.
 
-    The epoch starts with every node online and the routing tables fresh
-    (a repair has just completed).  At each subsequent step nodes leave and
-    rejoin according to the churn chain; a routing-table entry is usable only
-    if its node was online at the repair *and* is online now, so the usable
-    set shrinks over the epoch exactly as the static model's ``q_eff(t)``
-    predicts.  Source/destination pairs are sampled among usable nodes.
+    The run starts with every node online and the routing tables fresh (a
+    repair has just completed).  At each subsequent step nodes leave and
+    rejoin — drawn from the two-state chain, or replayed from
+    ``config.trace`` when one is set; a routing-table entry is usable only
+    if its node was online at the last repair *and* is online now, so the
+    usable set shrinks between repairs exactly as the static model's
+    ``q_eff(t)`` predicts.  Source/destination pairs are sampled among
+    usable nodes.  ``config.repair_every`` periodically re-establishes the
+    tables to the currently-online set.
 
     ``engine`` selects how the sampled pairs are routed: ``"batch"`` (the
-    default) stacks every step's usable mask and routes the whole epoch in
-    one fused engine invocation after the churn chain has been simulated,
-    ``"scalar"`` routes one pair at a time as each step is reached; routing
-    consumes no randomness, so both produce identical metrics.  ``backend``
-    selects the kernel backend of the batch engine (``"auto"`` — the
-    default — picks the fastest available; all backends are bit-identical).
+    default) routes each step's pairs through the kernel backend selected by
+    ``backend``, carrying **one prepared routing state across steps** and
+    delta-patching it with each step's join/leave delta (``state_mode=
+    "incremental"``; ``"rebuild"`` prepares from scratch each sampled step —
+    byte-identical, kept for verification and benchmarking).  ``"scalar"``
+    routes one pair at a time through the scalar oracle.  Routing consumes
+    no randomness and all paths are bit-identical, so engine, backend and
+    ``state_mode`` never change the measured numbers — see the module
+    docstring for the exact per-step RNG contract.
+
+    ``profile`` optionally accumulates per-phase wall-clock seconds
+    (:data:`CHURN_PROFILE_PHASES`) into the given mapping, batch engine
+    only — the churn counterpart of the sweep profiler behind
+    ``rcm simulate --profile``.
     """
     engine = check_engine(engine)
-    generator = make_rng(rng, seed)
+    if state_mode not in STATE_MODES:
+        raise InvalidParameterError(
+            f"unknown state_mode {state_mode!r}; expected one of {STATE_MODES}"
+        )
+    trace = config.trace
     n = overlay.n_nodes
-    online = np.ones(n, dtype=bool)  # state at the repair epoch
+    if trace is not None and trace.n_nodes != n:
+        raise InvalidParameterError(
+            f"trace covers {trace.n_nodes} nodes but the overlay has {n}"
+        )
+    generator = make_rng(rng, seed)
+    resolved = resolve_backend(backend) if engine == "batch" else None
+    clock = _ChurnClock(profile if engine == "batch" else None)
+    online = np.ones(n, dtype=bool)  # state at the initial repair epoch
     online_at_repair = online.copy()
     pairs_per_step = config.pairs_per_step
-    # (step, effective_q, online_fraction, usable_fraction, fused index, metrics)
-    records: List[Tuple[int, float, float, float, Optional[int], Optional[RoutingMetrics]]] = []
-    epoch_masks: List[np.ndarray] = []
-    epoch_sources: List[np.ndarray] = []
-    epoch_destinations: List[np.ndarray] = []
-    for step in range(1, config.steps_per_epoch + 1):
-        random_draws = generator.random(n)
-        leaving = online & (random_draws < config.leave_probability)
-        rejoining = (~online) & (random_draws < config.rejoin_probability)
-        online = (online & ~leaving) | rejoining
+    routing_state = None
+    state_mask: Optional[np.ndarray] = None  # the mask routing_state was built for
+    steps_since_repair = 0
+    steps: List[ChurnStepResult] = []
+    for step in range(1, config.total_steps + 1):
+        if config.repair_every is not None and steps_since_repair >= config.repair_every:
+            online_at_repair = online.copy()
+            steps_since_repair = 0
+        if trace is None:
+            random_draws = generator.random(n)
+            leaving = online & (random_draws < config.leave_probability)
+            rejoining = (~online) & (random_draws < config.rejoin_probability)
+            online = (online & ~leaving) | rejoining
+        else:
+            event_nodes, event_joins = trace.events_at(step)
+            if event_nodes.size:
+                online = online.copy()
+                online[event_nodes[~event_joins]] = False
+                online[event_nodes[event_joins]] = True
+        steps_since_repair += 1
         usable = online_at_repair & online
         usable_fraction = float(usable.mean())
-        fused_index: Optional[int] = None
         metrics: Optional[RoutingMetrics] = None
         if int(usable.sum()) >= 2:
             sources, destinations = sample_survivor_pair_arrays(
                 usable, pairs_per_step, generator
             )
             if engine == "batch":
-                fused_index = len(epoch_masks)
-                epoch_masks.append(usable)
-                epoch_sources.append(sources)
-                epoch_destinations.append(destinations)
+                clock.start()
+                if routing_state is None or state_mode == "rebuild":
+                    joined = left = None
+                else:
+                    joined = np.flatnonzero(usable & ~state_mask)
+                    left = np.flatnonzero(state_mask & ~usable)
+                clock.stop("mask_delta")
+                if joined is None:
+                    routing_state = resolved.prepare(overlay, usable)
+                else:
+                    routing_state = resolved.update(
+                        overlay, routing_state, usable, joined, left
+                    )
+                state_mask = usable
+                clock.stop("state_update")
+                outcome = route_pairs(
+                    overlay,
+                    sources,
+                    destinations,
+                    usable,
+                    batch_size=batch_size,
+                    backend=resolved,
+                    prepared_state=routing_state,
+                )
+                clock.stop("kernel_hops")
+                metrics = outcome.to_metrics()
+                clock.stop("reduction")
             else:
                 metrics = summarize_routes(
                     overlay.route(int(source), int(destination), usable)
                     for source, destination in zip(sources.tolist(), destinations.tolist())
                 )
-        records.append(
-            (
-                step,
-                effective_failure_probability(config, step),
-                float(online.mean()),
-                usable_fraction,
-                fused_index,
-                metrics,
-            )
-        )
-    outcome = None
-    if epoch_masks:
-        outcome = route_pairs_stacked(
-            overlay,
-            np.concatenate(epoch_sources),
-            np.concatenate(epoch_destinations),
-            np.stack(epoch_masks),
-            np.repeat(np.arange(len(epoch_masks), dtype=np.int64), pairs_per_step),
-            batch_size=batch_size,
-            backend=backend,
-        )
-    steps: List[ChurnStepResult] = []
-    for step, effective_q, online_fraction, usable_fraction, fused_index, metrics in records:
-        if metrics is None:
-            if fused_index is None:
-                metrics = summarize_routes([])
-            else:
-                metrics = outcome.sliced(
-                    fused_index * pairs_per_step, (fused_index + 1) * pairs_per_step
-                ).to_metrics()
+        else:
+            metrics = summarize_routes([])
         steps.append(
             ChurnStepResult(
                 step=step,
-                effective_q=effective_q,
-                online_fraction=online_fraction,
+                effective_q=(
+                    effective_failure_probability(config, steps_since_repair)
+                    if trace is None
+                    else None
+                ),
+                online_fraction=float(online.mean()),
                 usable_fraction=usable_fraction,
                 metrics=metrics,
             )

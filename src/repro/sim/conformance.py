@@ -15,6 +15,10 @@ the oracle across every execution shape the generic drivers derive:
 * **failure models** — every registry kind in
   :data:`repro.dht.failures.FAILURE_MODEL_KINDS`, batch engine vs the
   scalar engine;
+* **incremental prepare-state** — a prepared routing state delta-patched
+  through the backend's ``update`` hook across a sequence of masks (each
+  failure-model kind, severities down *and* up so unmasking is exercised)
+  must route byte-identically to a from-scratch prepare after every delta;
 * **worker counts** — :class:`~repro.sim.engine.SweepRunner` grids over
   all registered geometries, fused and per-cell, pooled vs in-process.
 
@@ -50,6 +54,7 @@ __all__ = [
     "assert_stacked_parity",
     "assert_hop_limit_parity",
     "assert_failure_model_parity",
+    "assert_incremental_parity",
     "assert_worker_parity",
     "run_conformance",
     "main",
@@ -279,6 +284,67 @@ def assert_failure_model_parity(
     return batch.attempts
 
 
+def assert_incremental_parity(
+    overlay: Overlay,
+    backend: BackendLike,
+    *,
+    kind: str = "uniform",
+    severities: Sequence[float] = (0.15, 0.4, 0.6, 0.25, 0.0),
+    pairs: int = 60,
+    seed: Optional[int] = None,
+) -> int:
+    """Delta-updated routing state routes byte-identically to a fresh prepare.
+
+    Walks one prepared state through a chained sequence of failure masks
+    drawn from ``kind``'s model — severities rising *and* falling (plus a
+    fully-alive mask), so both the masking (leave) and unmasking (rejoin)
+    directions of every :attr:`~repro.sim.kernelspec.KernelSpec.update`
+    hook are exercised — and after every delta routes a deterministic pair
+    batch twice: once through the carried state, once with a from-scratch
+    prepare.  The two outcomes must be byte-identical in ``succeeded``,
+    ``hops`` and ``failure_codes``.  Specs without an update hook fall back
+    to a full prepare inside the backend, so the axis is auto-discovered:
+    a new geometry is covered (and a new hook verified) the moment it
+    registers.
+    """
+    if seed is None:
+        seed = _deterministic_seed(f"incremental-{overlay.geometry_name}-{kind}")
+    resolved = resolve_backend(backend)
+    rng = np.random.default_rng(seed)
+    masks: List[np.ndarray] = []
+    for severity in severities:
+        if severity == 0.0:
+            mask = np.ones(overlay.n_nodes, dtype=bool)
+        else:
+            mask = make_failure_model(kind, severity).bind(overlay).sample(
+                overlay.n_nodes, rng
+            )
+        if int(mask.sum()) >= 2:
+            masks.append(mask)
+    if len(masks) < 2:
+        return 0
+    state = resolved.prepare(overlay, masks[0])
+    previous = masks[0]
+    compared = 0
+    for mask in masks[1:]:
+        joined = np.flatnonzero(mask & ~previous)
+        left = np.flatnonzero(previous & ~mask)
+        state = resolved.update(overlay, state, mask, joined, left)
+        previous = mask
+        pair_rng = np.random.default_rng(seed + compared + 1)
+        sources, destinations = sample_survivor_pair_arrays(mask, pairs, pair_rng)
+        incremental = route_pairs(
+            overlay, sources, destinations, mask, backend=resolved, prepared_state=state
+        )
+        fresh = route_pairs(overlay, sources, destinations, mask, backend=resolved)
+        context = (overlay.geometry_name, kind, compared)
+        assert np.array_equal(incremental.succeeded, fresh.succeeded), context
+        assert np.array_equal(incremental.hops, fresh.hops), context
+        assert np.array_equal(incremental.failure_codes, fresh.failure_codes), context
+        compared += sources.size
+    return compared
+
+
 def assert_worker_parity(
     geometries: Sequence[str],
     backend: BackendLike,
@@ -344,6 +410,13 @@ def run_conformance(
             checked[f"oracle[{label},q={q}]"] = assert_oracle_parity(overlay, backend, q=q)
         checked[f"stacked[{label}]"] = assert_stacked_parity(overlay, backend)
         checked[f"hop-limit[{label}]"] = assert_hop_limit_parity(overlay, backend)
+        # Incremental-vs-rebuild byte-identity per backend × failure model:
+        # the mask sequences of every kind (uniform, targeted, correlated)
+        # exercise each update hook's masking and unmasking directions.
+        for kind in failure_model_kinds:
+            checked[f"incremental[{label},{kind}]"] = assert_incremental_parity(
+                overlay, backend, kind=kind
+            )
     # Failure-model parity is mask-generation + routing; one backend suffices
     # per kind (cross-backend routing parity is covered above).
     for kind in failure_model_kinds:

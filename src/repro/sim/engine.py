@@ -293,6 +293,7 @@ def route_pairs(
     *,
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
+    prepared_state=None,
 ) -> BatchRouteOutcome:
     """Route every (source, destination) pair on ``overlay`` under one survival mask.
 
@@ -303,6 +304,14 @@ def route_pairs(
     not change any outcome.  ``backend`` selects the kernel backend
     (:func:`repro.sim.backends.resolve_backend`); every backend produces
     bit-identical outcomes, so the choice only affects speed.
+
+    ``prepared_state`` optionally supplies a routing state previously built
+    by the *resolved backend's* ``prepare`` (or delta-patched by its
+    ``update``) for exactly this ``(overlay, alive)``, skipping the per-call
+    prepare — the incremental churn loop
+    (:func:`repro.sim.churn.simulate_churn`) threads its carried state
+    through here.  The caller owns the state/mask consistency; states never
+    transfer between backends.
 
     A single mask is a stack of one: this entry point only validates its
     arguments and hands the mask to the same :func:`_dispatch_stack` driver
@@ -327,6 +336,7 @@ def route_pairs(
         alive[np.newaxis, :],
         np.zeros(0, dtype=np.int64),  # unused for a single-cell stack
         batch_size,
+        state=prepared_state,
     )
 
 
@@ -436,6 +446,7 @@ def _dispatch_stack(
     alive_stack: np.ndarray,
     cell_indices: np.ndarray,
     batch_size: Optional[int],
+    state=None,
 ) -> BatchRouteOutcome:
     """The one routing driver behind :func:`route_pairs` and
     :func:`route_pairs_stacked` (arguments already validated).
@@ -445,14 +456,25 @@ def _dispatch_stack(
     bounded-width sub-unions when the union table would exceed the memory
     cap.  Either way the kernels themselves only ever see one overlay view,
     one flat survival vector and one batch of pairs — the execution shapes
-    differ, the code path does not.
+    differ, the code path does not.  A caller-prepared ``state`` is only
+    meaningful for a stack of one (it was built against the physical
+    overlay view, not a union).
     """
     n_cells = alive_stack.shape[0]
+    if state is not None and n_cells != 1:
+        raise RoutingError("a prepared routing state requires a single-mask batch")
     if n_cells == 1:
         return _wrap_outcome(
             sources,
             destinations,
-            resolved.route(overlay, sources, destinations, alive_stack[0], batch_size=batch_size),
+            resolved.route(
+                overlay,
+                sources,
+                destinations,
+                alive_stack[0],
+                batch_size=batch_size,
+                state=state,
+            ),
         )
     table = overlay.neighbor_array()
     cells_per_union = max(1, _MAX_UNION_TABLE_ELEMENTS // (table.shape[0] * table.shape[1]))

@@ -16,7 +16,11 @@ collapses the batch side of that invariant to a single declaration:
 * A spec's :attr:`~KernelSpec.prepare` factory runs once per
   ``(overlay view, survival mask)`` batch and returns a :class:`SpecState`
   of mask-dependent tables (sentinel-masked copies, aliveness bitsets) that
-  every executor shares.
+  every executor shares.  An optional :attr:`~KernelSpec.update` hook
+  delta-patches an existing state when only a few nodes changed (churn):
+  O(events × degree) work instead of a full rebuild, with byte-identical
+  routed outcomes enforced by the conformance harness (see
+  :func:`update_spec_state`).
 * The generic drivers in this module derive **every execution shape** from
   the one declaration: :func:`vector_step` builds the vectorized per-hop
   step the NumPy backend iterates (single-mask and stacked disjoint-union
@@ -84,6 +88,10 @@ __all__ = [
     "scalar_functions",
     "ring_modulus",
     "distance_sentinel",
+    "update_spec_state",
+    "identity_update",
+    "reverse_neighbor_index",
+    "referencing_positions",
     "FAR_KEY",
 ]
 
@@ -269,6 +277,24 @@ class KernelSpec:
     accept:
         Scan kind only: ``accept(ops) -> fn(consts, best_key, cur, dst) ->
         ok``, element-wise verdict on the winning candidate.
+    update:
+        Optional delta variant of :attr:`prepare`:
+        ``update(overlay_view, state, alive, joined, left) -> SpecState``.
+        ``state`` is a :class:`SpecState` previously returned by
+        :attr:`prepare` (or by an earlier ``update``) for some survival
+        vector; ``alive`` is the *new* full survival vector, and ``joined``
+        / ``left`` are the flat index arrays of nodes that became alive /
+        dead relative to the vector the state was last built for.  The hook
+        must return a state equivalent to ``prepare(overlay_view, alive)``
+        in every observable (the conformance harness enforces byte-identical
+        routed outcomes).  Ownership contract: the hook *consumes* ``state``
+        — it may patch the state's own derived arrays in place (temporarily
+        re-enabling writes, then re-freezing) and may stash reusable scratch
+        (e.g. a reverse-neighbour index) in the returned ``arrays`` tuple;
+        callers must not use the old state afterwards.  Arrays the spec does
+        not own (e.g. ``view.neighbor_array()`` itself) must never be
+        written.  When the hook is ``None`` the executors fall back to a
+        full :attr:`prepare` (see :func:`update_spec_state`).
     """
 
     geometry: str
@@ -278,6 +304,7 @@ class KernelSpec:
     advance: Optional[Callable] = None
     key: Optional[Callable] = None
     accept: Optional[Callable] = None
+    update: Optional[Callable] = None
 
     def __post_init__(self) -> None:
         if not self.geometry:
@@ -325,6 +352,93 @@ def has_kernel_spec(geometry: str) -> bool:
 def registered_geometries() -> Tuple[str, ...]:
     """Registered geometry labels in a stable (sorted) order."""
     return tuple(sorted(KERNEL_SPECS))
+
+
+# --------------------------------------------------------------------- #
+# incremental prepare-state
+# --------------------------------------------------------------------- #
+def update_spec_state(
+    spec: KernelSpec,
+    view,
+    state: SpecState,
+    alive: np.ndarray,
+    joined: np.ndarray,
+    left: np.ndarray,
+) -> SpecState:
+    """Delta-update ``state`` to match ``alive``, or rebuild when the spec has no hook.
+
+    The one executor-facing entry point of the update protocol: backends
+    call this instead of dispatching on ``spec.update`` themselves, so the
+    fallback (a full :attr:`KernelSpec.prepare`) lives in exactly one place.
+    ``joined`` / ``left`` follow the :attr:`KernelSpec.update` contract —
+    indices relative to the survival vector ``state`` was last built for.
+    The input ``state`` is consumed (it may be patched in place).
+    """
+    if spec.update is None:
+        return spec.prepare(view, alive)
+    return spec.update(view, state, alive, joined, left)
+
+
+def identity_update(view, state: SpecState, alive, joined, left) -> SpecState:
+    """The update hook of mask-independent prepare-states.
+
+    Geometries whose :attr:`KernelSpec.prepare` derives nothing from the
+    survival vector (tree, de Bruijn — aliveness is looked up at hop time
+    via ``ops.alive``) are incrementally updated by doing nothing: the
+    executors refresh their own aliveness handle, the spec state is already
+    correct for any mask.
+    """
+    return state
+
+
+def reverse_neighbor_index(view) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR index of the positions where each node appears in the neighbour table.
+
+    Returns ``(starts, order)`` over the *pristine* ``view.neighbor_array()``:
+    ``order[starts[x]:starts[x + 1]]`` lists every flat position ``p`` with
+    ``table.ravel()[p] == x``.  Scan-kind update hooks use it to patch
+    exactly the sentinel-masked entries referencing a changed node —
+    O(degree) positions per churn event instead of an O(nodes × degree)
+    remask.  Built once per state (on the first delta) and carried in the
+    state's ``arrays`` scratch; the executors never read a scan spec's
+    ``arrays``, so the slot is free.
+
+    Order *within* a bucket is unspecified: every update writes one value
+    per bucket (a sentinel, a rejoined id, a row id), so only the grouping
+    matters — which frees this to use the cheapest grouping sort available
+    (radix on a 16-bit key when the identifier space fits, introsort
+    otherwise) rather than a stable mergesort on the full-width table.
+    """
+    flat = np.ascontiguousarray(view.neighbor_array()).reshape(-1)
+    counts = np.bincount(flat, minlength=view.n_nodes)
+    starts = np.zeros(view.n_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    if view.n_nodes <= 1 << 16:
+        order = np.argsort(flat.astype(np.uint16), kind="stable")
+    else:
+        order = np.argsort(flat)
+    return starts, order.astype(np.int64, copy=False)
+
+
+def referencing_positions(
+    starts: np.ndarray, order: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat table positions referencing ``nodes``, from a :func:`reverse_neighbor_index`.
+
+    Returns ``(positions, counts)``: ``positions`` concatenates each node's
+    position block in the order the nodes are given (so per-node fill
+    values align via ``np.repeat(nodes, counts)``), and ``counts[i]`` is
+    node ``i``'s block length.  Fully vectorized ragged gather — no Python
+    loop over nodes.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    counts = starts[nodes + 1] - starts[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return order[np.repeat(starts[nodes], counts) + offsets], counts
 
 
 # --------------------------------------------------------------------- #

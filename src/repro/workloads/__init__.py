@@ -1,4 +1,4 @@
-"""Sweep grids and Monte-Carlo workload specifications for experiments."""
+"""Sweep grids, Monte-Carlo workload specifications and churn traces."""
 
 from .generators import (
     PairWorkload,
@@ -7,6 +7,7 @@ from .generators import (
     paper_system_sizes,
     system_size_grid,
 )
+from .traces import ChurnTrace, load_trace, markov_trace, pareto_session_trace
 
 __all__ = [
     "PairWorkload",
@@ -14,4 +15,8 @@ __all__ = [
     "paper_failure_probabilities",
     "paper_system_sizes",
     "system_size_grid",
+    "ChurnTrace",
+    "load_trace",
+    "markov_trace",
+    "pareto_session_trace",
 ]

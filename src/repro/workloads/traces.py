@@ -1,0 +1,319 @@
+"""Replayable churn traces: join/leave event streams the churn loop consumes.
+
+The churn study (:mod:`repro.sim.churn`) originally knew exactly one node
+process — the two-state Markov chain sampled inline.  A :class:`ChurnTrace`
+decouples the *process* from the *measurement loop*: it is a validated,
+deterministic stream of ``(step, node, join|leave)`` events that the loop
+replays, so the same simulation code measures Markov churn, heavy-tailed
+Pareto session churn, or a recorded real-world trace — and the same trace
+file reproduces the same masks everywhere (the events are the state; no RNG
+is consumed during replay).
+
+Two deterministic generators are provided:
+
+* :func:`markov_trace` — every node an independent two-state Markov chain
+  (per-step leave/rejoin probabilities), the process the analytical
+  ``q_eff(t)`` model assumes;
+* :func:`pareto_session_trace` — alternating online/offline sessions with
+  Pareto-distributed (heavy-tailed) durations, the empirical shape of
+  measured peer-to-peer session lengths, which the Markov model cannot
+  express.
+
+Traces round-trip through a line-oriented text format (``save`` / ``load``)::
+
+    # rcm-churn-trace v1
+    nodes=256 steps=40
+    3 17 L
+    5 17 J
+    ...
+
+with one ``<step> <node> J|L`` event per line, steps 1-based and
+non-decreasing, and every node starting **online** at step 0.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import check_positive_int, check_probability
+
+__all__ = [
+    "ChurnTrace",
+    "markov_trace",
+    "pareto_session_trace",
+    "load_trace",
+]
+
+_HEADER = "# rcm-churn-trace v1"
+
+
+def _make_rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    # Local clone of repro.dht.network.make_rng — workloads must stay
+    # importable without the simulator package (no repro.dht dependency).
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True, eq=False)
+class ChurnTrace:
+    """A validated join/leave event stream over ``n_steps`` churn steps.
+
+    Every node is **online at step 0**; ``steps`` / ``nodes`` / ``joins``
+    are aligned event arrays, canonically sorted by ``(step, node)``.  A
+    ``join`` event flips its node online, a leave (``joins[i] == False``)
+    flips it offline; construction validates the stream (steps in
+    ``[1, n_steps]``, nodes in range, per-node events strictly increasing
+    in time and strictly alternating starting with a leave), so a replayed
+    trace can never desynchronise from the mask it claims to describe.
+
+    Equality is identity (``eq=False``): traces carry large arrays and ride
+    inside frozen configs that must stay hashable.
+    """
+
+    n_nodes: int
+    n_steps: int
+    steps: np.ndarray = field(repr=False)
+    nodes: np.ndarray = field(repr=False)
+    joins: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+        check_positive_int(self.n_steps, "n_steps")
+        steps = np.ascontiguousarray(self.steps, dtype=np.int64)
+        nodes = np.ascontiguousarray(self.nodes, dtype=np.int64)
+        joins = np.ascontiguousarray(self.joins, dtype=bool)
+        if not (steps.ndim == nodes.ndim == joins.ndim == 1):
+            raise InvalidParameterError("trace event arrays must be one-dimensional")
+        if not (steps.size == nodes.size == joins.size):
+            raise InvalidParameterError("trace event arrays must be aligned")
+        if steps.size:
+            if int(steps.min()) < 1 or int(steps.max()) > self.n_steps:
+                raise InvalidParameterError(
+                    f"trace steps must lie in [1, {self.n_steps}]"
+                )
+            if int(nodes.min()) < 0 or int(nodes.max()) >= self.n_nodes:
+                raise InvalidParameterError(
+                    f"trace nodes must lie in [0, {self.n_nodes})"
+                )
+            order = np.lexsort((nodes, steps))
+            steps, nodes, joins = steps[order], nodes[order], joins[order]
+            self._validate_per_node(steps, nodes, joins)
+        for name, array in (("steps", steps), ("nodes", nodes), ("joins", joins)):
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
+
+    @staticmethod
+    def _validate_per_node(steps: np.ndarray, nodes: np.ndarray, joins: np.ndarray) -> None:
+        """Vectorized consistency check of the (step, node)-sorted stream."""
+        order = np.lexsort((steps, nodes))
+        by_node = nodes[order]
+        by_step = steps[order]
+        by_join = joins[order]
+        new_node = np.empty(by_node.size, dtype=bool)
+        new_node[0] = True
+        new_node[1:] = by_node[1:] != by_node[:-1]
+        if by_join[new_node].any():
+            raise InvalidParameterError(
+                "trace is inconsistent: a node's first event must be a leave "
+                "(every node starts online)"
+            )
+        same_node = ~new_node[1:]
+        if (same_node & (by_step[1:] <= by_step[:-1])).any():
+            raise InvalidParameterError(
+                "trace is inconsistent: a node has two events at the same step"
+            )
+        if (same_node & (by_join[1:] == by_join[:-1])).any():
+            raise InvalidParameterError(
+                "trace is inconsistent: a node's events must alternate leave/join"
+            )
+
+    @property
+    def n_events(self) -> int:
+        """Total number of join/leave events."""
+        return int(self.steps.size)
+
+    def events_at(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(nodes, joins)`` event slice of one 1-based step (possibly empty)."""
+        lo = int(np.searchsorted(self.steps, step, side="left"))
+        hi = int(np.searchsorted(self.steps, step, side="right"))
+        return self.nodes[lo:hi], self.joins[lo:hi]
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the trace in the ``rcm-churn-trace v1`` text format."""
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(f"{_HEADER}\n")
+            handle.write(f"nodes={self.n_nodes} steps={self.n_steps}\n")
+            for step, node, join in zip(
+                self.steps.tolist(), self.nodes.tolist(), self.joins.tolist()
+            ):
+                handle.write(f"{step} {node} {'J' if join else 'L'}\n")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ChurnTrace":
+        """Parse (and re-validate) a trace written by :meth:`save`."""
+        with open(path, "r", encoding="ascii") as handle:
+            lines = [line.strip() for line in handle]
+        content = [line for line in lines if line and not line.startswith("#")]
+        if not lines or lines[0] != _HEADER:
+            raise InvalidParameterError(
+                f"{path}: not a churn trace (missing {_HEADER!r} header)"
+            )
+        if not content:
+            raise InvalidParameterError(f"{path}: missing the 'nodes=N steps=S' line")
+        try:
+            fields = dict(entry.split("=", 1) for entry in content[0].split())
+            n_nodes = int(fields["nodes"])
+            n_steps = int(fields["steps"])
+        except (KeyError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"{path}: malformed header line {content[0]!r}"
+            ) from exc
+        steps: List[int] = []
+        nodes: List[int] = []
+        joins: List[bool] = []
+        for line in content[1:]:
+            parts = line.split()
+            if len(parts) != 3 or parts[2] not in ("J", "L"):
+                raise InvalidParameterError(f"{path}: malformed event line {line!r}")
+            steps.append(int(parts[0]))
+            nodes.append(int(parts[1]))
+            joins.append(parts[2] == "J")
+        return cls(
+            n_nodes=n_nodes,
+            n_steps=n_steps,
+            steps=np.asarray(steps, dtype=np.int64),
+            nodes=np.asarray(nodes, dtype=np.int64),
+            joins=np.asarray(joins, dtype=bool),
+        )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> ChurnTrace:
+    """Module-level alias of :meth:`ChurnTrace.load` (CLI convenience)."""
+    return ChurnTrace.load(path)
+
+
+def markov_trace(
+    n_nodes: int,
+    n_steps: int,
+    leave_probability: float = 0.02,
+    rejoin_probability: float = 0.05,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ChurnTrace:
+    """A trace of independent two-state Markov chains, one per node.
+
+    Per step, each online node leaves with ``leave_probability`` and each
+    offline node rejoins with ``rejoin_probability`` — the exact process
+    :func:`repro.sim.churn.simulate_churn` samples inline (one uniform draw
+    per node per step against its own generator), recorded as events so it
+    can be replayed, saved and inspected.
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    check_positive_int(n_steps, "n_steps")
+    check_probability(leave_probability, "leave_probability")
+    check_probability(rejoin_probability, "rejoin_probability")
+    if leave_probability == 0.0 and rejoin_probability == 0.0:
+        raise InvalidParameterError(
+            "at least one of leave_probability / rejoin_probability must be positive"
+        )
+    generator = _make_rng(rng, seed)
+    online = np.ones(n_nodes, dtype=bool)
+    steps: List[np.ndarray] = []
+    nodes: List[np.ndarray] = []
+    joins: List[np.ndarray] = []
+    for step in range(1, n_steps + 1):
+        draws = generator.random(n_nodes)
+        leaving = online & (draws < leave_probability)
+        rejoining = (~online) & (draws < rejoin_probability)
+        changed = np.flatnonzero(leaving | rejoining)
+        if changed.size:
+            steps.append(np.full(changed.size, step, dtype=np.int64))
+            nodes.append(changed.astype(np.int64))
+            joins.append(rejoining[changed])
+        online = (online & ~leaving) | rejoining
+    return _from_event_blocks(n_nodes, n_steps, steps, nodes, joins)
+
+
+def pareto_session_trace(
+    n_nodes: int,
+    n_steps: int,
+    *,
+    shape: float = 1.5,
+    mean_online: float = 20.0,
+    mean_offline: float = 5.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ChurnTrace:
+    """A trace of alternating Pareto-distributed online/offline sessions.
+
+    Each node starts online and alternates sessions whose durations (in
+    steps, at least 1) are drawn from a Pareto distribution with tail index
+    ``shape`` parameterised by its *mean* (``x_m = mean · (shape − 1) /
+    shape``) — the heavy-tailed session behaviour measured in deployed
+    peer-to-peer systems, where a few near-permanent nodes coexist with
+    many short-lived ones.  ``shape`` must exceed 1 so the mean exists;
+    shapes close to 1 give the heaviest tails.
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    check_positive_int(n_steps, "n_steps")
+    if not shape > 1.0:
+        raise InvalidParameterError(f"shape must exceed 1 (finite mean), got {shape}")
+    for label, mean in (("mean_online", mean_online), ("mean_offline", mean_offline)):
+        if not mean >= 1.0:
+            raise InvalidParameterError(f"{label} must be at least 1 step, got {mean}")
+    generator = _make_rng(rng, seed)
+    steps: List[np.ndarray] = []
+    nodes: List[np.ndarray] = []
+    joins: List[np.ndarray] = []
+    clock = np.zeros(n_nodes, dtype=np.float64)
+    online = np.ones(n_nodes, dtype=bool)
+    pending = np.arange(n_nodes, dtype=np.int64)
+    while pending.size:
+        mean = np.where(online[pending], mean_online, mean_offline)
+        scale = mean * (shape - 1.0) / shape
+        # Inverse-CDF sampling, floored to whole steps (>= 1 so per-node
+        # event times are strictly increasing, as the trace contract needs).
+        draws = generator.random(pending.size)
+        durations = np.maximum(1.0, np.floor(scale * (1.0 - draws) ** (-1.0 / shape)))
+        clock[pending] += durations
+        online[pending] = ~online[pending]  # the state after the transition
+        occurring = clock[pending] <= n_steps
+        changed = pending[occurring]
+        if changed.size:
+            steps.append(clock[changed].astype(np.int64))
+            nodes.append(changed)
+            joins.append(online[changed].copy())
+        pending = changed
+    return _from_event_blocks(n_nodes, n_steps, steps, nodes, joins)
+
+
+def _from_event_blocks(
+    n_nodes: int,
+    n_steps: int,
+    steps: List[np.ndarray],
+    nodes: List[np.ndarray],
+    joins: List[np.ndarray],
+) -> ChurnTrace:
+    """Assemble (and canonically sort) generator event blocks into a trace."""
+    if steps:
+        return ChurnTrace(
+            n_nodes=n_nodes,
+            n_steps=n_steps,
+            steps=np.concatenate(steps),
+            nodes=np.concatenate(nodes),
+            joins=np.concatenate(joins),
+        )
+    return ChurnTrace(
+        n_nodes=n_nodes,
+        n_steps=n_steps,
+        steps=np.empty(0, dtype=np.int64),
+        nodes=np.empty(0, dtype=np.int64),
+        joins=np.empty(0, dtype=bool),
+    )

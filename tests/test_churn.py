@@ -11,10 +11,12 @@ from repro.core.geometry import get_geometry
 from repro.dht import HypercubeOverlay, KademliaOverlay
 from repro.exceptions import InvalidParameterError
 from repro.sim.churn import (
+    CHURN_PROFILE_PHASES,
     ChurnConfig,
     effective_failure_probability,
     simulate_churn,
 )
+from repro.workloads import ChurnTrace, markov_trace
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +130,144 @@ class TestSimulateChurn:
         for step in result.steps:
             predicted = geometry.routability(step.effective_q, d=overlay.d)
             assert step.measured_routability == pytest.approx(predicted, abs=0.08)
+
+
+class TestStateModes:
+    """``state_mode`` changes how the state is produced, never what is measured."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ChurnConfig(
+            leave_probability=0.06,
+            rejoin_probability=0.03,
+            steps_per_epoch=6,
+            pairs_per_step=120,
+            repair_every=3,
+        )
+
+    def test_incremental_matches_rebuild_bit_for_bit(self, overlay, config):
+        incremental = simulate_churn(overlay, config, seed=11, state_mode="incremental")
+        rebuild = simulate_churn(overlay, config, seed=11, state_mode="rebuild")
+        assert incremental.as_rows() == rebuild.as_rows()
+
+    def test_batch_matches_scalar_engine(self, overlay, config):
+        batch = simulate_churn(overlay, config, seed=11)
+        scalar = simulate_churn(overlay, config, seed=11, engine="scalar")
+        assert batch.as_rows() == scalar.as_rows()
+
+    def test_rng_stream_is_identical_across_state_modes(self, overlay, config):
+        # The RNG-discipline contract: per step, the generator is consumed
+        # only by the churn draw and by pair sampling — state maintenance
+        # draws nothing.  So after two runs differing only in state_mode the
+        # generator must sit at the same point of its stream, which we
+        # observe through the numbers it yields next.
+        leftovers = []
+        for state_mode in ("incremental", "rebuild"):
+            generator = np.random.default_rng(77)
+            simulate_churn(overlay, config, rng=generator, state_mode=state_mode)
+            leftovers.append(generator.integers(0, 2**63, size=8).tolist())
+        assert leftovers[0] == leftovers[1]
+
+    def test_rng_stream_is_identical_across_engines(self, overlay, config):
+        leftovers = []
+        for engine in ("batch", "scalar"):
+            generator = np.random.default_rng(78)
+            simulate_churn(overlay, config, rng=generator, engine=engine)
+            leftovers.append(generator.integers(0, 2**63, size=8).tolist())
+        assert leftovers[0] == leftovers[1]
+
+    def test_unknown_state_mode_rejected(self, overlay):
+        with pytest.raises(InvalidParameterError, match="state_mode"):
+            simulate_churn(overlay, ChurnConfig(), seed=1, state_mode="lazy")
+
+
+class TestTraceDrivenChurn:
+    @pytest.fixture(scope="class")
+    def trace(self, overlay):
+        return markov_trace(
+            overlay.n_nodes,
+            6,
+            leave_probability=0.08,
+            rejoin_probability=0.05,
+            seed=23,
+        )
+
+    def test_trace_length_overrides_steps_per_epoch(self, trace):
+        config = ChurnConfig(steps_per_epoch=99, trace=trace)
+        assert config.total_steps == trace.n_steps
+
+    def test_trace_replay_consumes_no_step_randomness(self, overlay, trace):
+        # The online/usable trajectory is fixed by the trace: two runs with
+        # different seeds differ only in which pairs they sample.
+        config = ChurnConfig(pairs_per_step=50, trace=trace)
+        first = simulate_churn(overlay, config, seed=1)
+        second = simulate_churn(overlay, config, seed=2)
+        assert [s.online_fraction for s in first.steps] == [
+            s.online_fraction for s in second.steps
+        ]
+        assert [s.usable_fraction for s in first.steps] == [
+            s.usable_fraction for s in second.steps
+        ]
+
+    def test_trace_rows_report_no_effective_q(self, overlay, trace):
+        config = ChurnConfig(pairs_per_step=50, trace=trace)
+        result = simulate_churn(overlay, config, seed=3)
+        assert all(row["effective_q"] is None for row in result.as_rows())
+
+    def test_state_modes_and_engines_agree_under_a_trace(self, overlay, trace):
+        config = ChurnConfig(pairs_per_step=80, trace=trace, repair_every=2)
+        rows = [
+            simulate_churn(overlay, config, seed=7, state_mode="incremental").as_rows(),
+            simulate_churn(overlay, config, seed=7, state_mode="rebuild").as_rows(),
+            simulate_churn(overlay, config, seed=7, engine="scalar").as_rows(),
+        ]
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_trace_node_count_mismatch_rejected(self, overlay):
+        small = markov_trace(overlay.n_nodes // 2, 4, seed=5)
+        with pytest.raises(InvalidParameterError, match="nodes"):
+            simulate_churn(overlay, ChurnConfig(trace=small), seed=1)
+
+    def test_config_rejects_a_non_trace(self):
+        with pytest.raises(InvalidParameterError, match="ChurnTrace"):
+            ChurnConfig(trace="events.txt")
+
+    def test_repair_restores_the_usable_set(self, overlay):
+        # One node leaves at step 1 and never returns.  With repair_every=1
+        # the tables are re-established to the online set before every step,
+        # so usable == online at every step.
+        trace = ChurnTrace(
+            n_nodes=overlay.n_nodes,
+            n_steps=4,
+            steps=np.array([1], dtype=np.int64),
+            nodes=np.array([0], dtype=np.int64),
+            joins=np.array([False]),
+        )
+        config = ChurnConfig(pairs_per_step=20, trace=trace, repair_every=1)
+        result = simulate_churn(overlay, config, seed=9)
+        for step in result.steps:
+            assert step.usable_fraction == pytest.approx(step.online_fraction)
+
+
+class TestChurnProfile:
+    def test_profile_collects_the_four_phases(self, overlay):
+        profile = {}
+        config = ChurnConfig(steps_per_epoch=3, pairs_per_step=40)
+        simulate_churn(overlay, config, seed=4, profile=profile)
+        assert set(profile) == set(CHURN_PROFILE_PHASES)
+        assert all(seconds >= 0.0 for seconds in profile.values())
+
+    def test_profile_does_not_change_the_rows(self, overlay):
+        config = ChurnConfig(steps_per_epoch=3, pairs_per_step=40)
+        plain = simulate_churn(overlay, config, seed=4)
+        profiled = simulate_churn(overlay, config, seed=4, profile={})
+        assert plain.as_rows() == profiled.as_rows()
+
+    def test_scalar_engine_leaves_the_profile_untouched(self, overlay):
+        profile = {}
+        config = ChurnConfig(steps_per_epoch=2, pairs_per_step=20)
+        simulate_churn(overlay, config, seed=4, engine="scalar", profile=profile)
+        assert profile == {}
 
 
 class TestChurnRows:

@@ -157,6 +157,75 @@ class TestFailureModelOption:
         assert fused_output == capsys.readouterr().out
 
 
+class TestChurnTraceOption:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.workloads import markov_trace
+
+        path = tmp_path / "trace.txt"
+        markov_trace(
+            64, 6, leave_probability=0.1, rejoin_probability=0.05, seed=23
+        ).save(path)
+        return str(path)
+
+    def test_simulate_without_q_or_trace_is_a_parser_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--geometry", "xor", "--d", "6"])
+        assert "--churn-trace" in capsys.readouterr().err
+
+    def test_trace_replay_prints_per_step_rows(self, trace_path, capsys):
+        assert main(
+            [
+                "simulate", "--geometry", "xor", "--d", "6",
+                "--churn-trace", trace_path, "--pairs", "40",
+                "--churn-repair-every", "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Trace-driven churn" in output
+        assert "usable_fraction" in output
+
+    def test_trace_profile_reports_the_churn_phases(self, trace_path, capsys):
+        assert main(
+            [
+                "simulate", "--geometry", "ring", "--d", "6",
+                "--churn-trace", trace_path, "--pairs", "40", "--profile",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        for phase in ("mask_delta", "state_update", "kernel_hops", "reduction"):
+            assert phase in output
+
+    def test_trace_json_export(self, trace_path, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "churn.json"
+        assert main(
+            [
+                "simulate", "--geometry", "xor", "--d", "6",
+                "--churn-trace", trace_path, "--pairs", "40",
+                "--json", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["geometry"] == "xor"
+        assert payload["churn_trace"] == trace_path
+        assert len(payload["rows"]) == 6
+        assert all(row["effective_q"] is None for row in payload["rows"])
+
+    def test_missing_trace_file_exits_2_with_one_line_error(self, tmp_path, capsys):
+        assert main(
+            [
+                "simulate", "--geometry", "xor", "--d", "6",
+                "--churn-trace", str(tmp_path / "absent.txt"),
+            ]
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
 class TestJsonExport:
     def _export(self, tmp_path, capsys, *extra):
         path = tmp_path / "out.json"

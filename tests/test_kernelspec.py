@@ -22,6 +22,7 @@ from repro.sim.conformance import (
     WORKER_COUNTS,
     assert_failure_model_parity,
     assert_hop_limit_parity,
+    assert_incremental_parity,
     assert_oracle_parity,
     assert_stacked_parity,
     assert_worker_parity,
@@ -34,8 +35,12 @@ from repro.sim.kernelspec import (
     SpecState,
     get_kernel_spec,
     has_kernel_spec,
+    identity_update,
+    referencing_positions,
     registered_geometries,
+    reverse_neighbor_index,
     scalar_functions,
+    update_spec_state,
 )
 
 BACKENDS = conformance_backends()
@@ -152,6 +157,87 @@ class TestFailureModelParity:
         # Cross-engine parity through the uncompiled numba loops too (one
         # geometry suffices; routing parity per geometry is covered above).
         assert_failure_model_parity(small_overlays["debruijn"], _backend("python-loop"), kind=kind)
+
+
+class TestIncrementalParity:
+    """Delta-updated prepare-state routes byte-identically to a fresh prepare."""
+
+    @pytest.mark.parametrize("kind", FAILURE_MODEL_KINDS)
+    def test_update_hooks_match_fresh_prepare(
+        self, small_overlays, geometry_name, backend_label, kind
+    ):
+        # Walks one state through rising *and* falling severities of every
+        # failure-model kind, so both the leave and rejoin directions of the
+        # geometry's update hook are exercised on every backend.
+        checked = assert_incremental_parity(
+            small_overlays[geometry_name], _backend(backend_label), kind=kind
+        )
+        assert checked > 0
+
+    def test_missing_hook_falls_back_to_a_full_prepare(self, small_overlays):
+        import dataclasses
+
+        from repro.dht.failures import survival_mask
+
+        overlay = small_overlays["xor"]
+        spec = get_kernel_spec("xor")
+        rng = np.random.default_rng(31)
+        first = survival_mask(overlay.n_nodes, 0.2, rng)
+        second = survival_mask(overlay.n_nodes, 0.4, rng)
+        hookless = dataclasses.replace(spec, update=None)
+        state = hookless.prepare(overlay, first)
+        joined = np.flatnonzero(second & ~first)
+        left = np.flatnonzero(first & ~second)
+        updated = update_spec_state(hookless, overlay, state, second, joined, left)
+        fresh = spec.prepare(overlay, second)
+        assert np.array_equal(updated.table, fresh.table)
+        assert updated.consts == fresh.consts
+
+    def test_identity_update_returns_the_state_unchanged(self, small_overlays):
+        from repro.dht.failures import survival_mask
+
+        overlay = small_overlays["tree"]
+        spec = get_kernel_spec("tree")
+        alive = survival_mask(overlay.n_nodes, 0.3, np.random.default_rng(7))
+        state = spec.prepare(overlay, alive)
+        empty = np.empty(0, dtype=np.int64)
+        assert identity_update(overlay, state, alive, empty, empty) is state
+
+
+class TestReverseNeighborIndex:
+    """The CSR reverse index behind the scan-kind update hooks."""
+
+    def test_every_bucket_lists_exactly_its_referencing_positions(
+        self, small_overlays, geometry_name
+    ):
+        overlay = small_overlays[geometry_name]
+        flat = overlay.neighbor_array().reshape(-1)
+        starts, order = reverse_neighbor_index(overlay)
+        assert starts[0] == 0 and starts[-1] == flat.size
+        assert sorted(order.tolist()) == list(range(flat.size))
+        for node in (0, 1, overlay.n_nodes // 2, overlay.n_nodes - 1):
+            block = order[starts[node] : starts[node + 1]]
+            assert block.size == int((flat == node).sum())
+            assert np.all(flat[block] == node)
+
+    def test_referencing_positions_align_with_repeated_fill_values(self, small_overlays):
+        overlay = small_overlays["xor"]
+        flat = overlay.neighbor_array().reshape(-1)
+        starts, order = reverse_neighbor_index(overlay)
+        nodes = np.array([5, 0, overlay.n_nodes - 1], dtype=np.int64)
+        positions, counts = referencing_positions(starts, order, nodes)
+        assert positions.size == int(counts.sum())
+        # The documented alignment contract: per-node fill values line up
+        # with the concatenated position blocks via np.repeat.
+        np.testing.assert_array_equal(flat[positions], np.repeat(nodes, counts))
+
+    def test_referencing_positions_handle_an_empty_delta(self, small_overlays):
+        overlay = small_overlays["ring"]
+        starts, order = reverse_neighbor_index(overlay)
+        positions, counts = referencing_positions(
+            starts, order, np.empty(0, dtype=np.int64)
+        )
+        assert positions.size == 0 and counts.size == 0
 
 
 class TestWorkerParity:

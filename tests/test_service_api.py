@@ -203,6 +203,92 @@ class TestCacheSemantics:
             assert job.results_payload()["results"][0]["rows"] == first_rows
 
 
+class TestChurnSubmissions:
+    """Churn sweeps: one trace-driven shard per geometry, no static q grid."""
+
+    BODY = {
+        "geometries": ["ring", "xor"],
+        "d": 6,
+        "churn": {
+            "generator": "markov",
+            "steps": 5,
+            "leave_probability": 0.1,
+            "rejoin_probability": 0.05,
+            "pairs_per_step": 30,
+            "repair_every": 2,
+        },
+    }
+
+    def test_churn_job_runs_one_shard_per_geometry(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, accepted = request(port, "POST", "/v1/sweeps", body=self.BODY)
+            assert status == 202
+            final = wait_for_state(port, accepted["job_id"])
+            assert final["state"] == "done"
+            assert final["cells"]["total"] == 10  # 2 geometries x 5 steps
+            assert final["cells"]["done"] == 10
+
+            status, results = request(
+                port, "GET", f"/v1/jobs/{accepted['job_id']}/results"
+            )
+            assert status == 200
+            shards = results["results"]
+            assert sorted(shard["geometry"] for shard in shards) == ["ring", "xor"]
+            for shard in shards:
+                assert shard["failure_model"] == "churn"
+                assert shard["churn"]["generator"] == "markov"
+                assert len(shard["rows"]) == 5
+                assert all(row["effective_q"] is None for row in shard["rows"])
+                assert all("usable_fraction" in row for row in shard["rows"])
+
+    def test_churn_results_are_deterministic_across_submissions(self, tmp_path):
+        payloads = []
+        for run in range(2):
+            with running_service(tmp_path / f"cells-{run}.db") as (port, _service):
+                _, accepted = request(port, "POST", "/v1/sweeps", body=self.BODY)
+                wait_for_state(port, accepted["job_id"])
+                _, results = request(
+                    port, "GET", f"/v1/jobs/{accepted['job_id']}/results"
+                )
+                payloads.append(
+                    sorted(results["results"], key=lambda shard: shard["geometry"])
+                )
+        assert payloads[0] == payloads[1]
+
+    def test_pareto_generator_accepted(self, tmp_path):
+        body = {
+            "geometries": ["ring"],
+            "d": 6,
+            "churn": {"generator": "pareto", "steps": 3, "mean_offline": 8.0},
+        }
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, accepted = request(port, "POST", "/v1/sweeps", body=body)
+            assert status == 202
+            final = wait_for_state(port, accepted["job_id"])
+            assert final["state"] == "done"
+            assert final["cells"]["total"] == 3
+
+    def test_invalid_churn_bodies_rejected_400(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            for bad_churn in (
+                {"generator": "weibull", "steps": 3},  # unknown generator
+                {"generator": "markov"},  # missing steps
+                {"generator": "markov", "steps": 3, "surprise": 1},  # unknown key
+            ):
+                body = {"geometries": ["ring"], "d": 6, "churn": bad_churn}
+                status, payload = request(port, "POST", "/v1/sweeps", body=body)
+                assert status == 400, bad_churn
+                assert "invalid sweep request" in payload["error"]
+
+    def test_missing_q_without_churn_rejected_400(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, payload = request(
+                port, "POST", "/v1/sweeps", body={"geometries": ["ring"], "d": 6}
+            )
+            assert status == 400
+            assert "'q' is required unless 'churn' is given" in payload["error"]
+
+
 class TestErrorPaths:
     def test_semantically_invalid_grid_fails_the_job_with_409_results(self, tmp_path):
         with running_service(tmp_path / "cells.db") as (port, _service):
