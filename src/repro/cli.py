@@ -35,7 +35,18 @@ Subcommands
     join/leave events drive per-step routability measurements, the routing
     state is delta-patched between steps, ``--churn-repair-every`` sets the
     repair period, and ``--profile`` then prints the churn phase breakdown
-    (mask delta, state update, kernel hops, reduction).
+    (mask delta, state update, kernel hops, reduction).  ``--adaptive
+    --ci-target H`` switches to variance-adaptive trial allocation: the
+    sweep runs in rounds and each ``q`` point freezes once its pooled
+    routability CI half-width reaches ``H`` (``--trials`` becomes the
+    per-point cap; ``--min-trials``/``--max-trials`` tune the schedule),
+    ``--allocation-out`` records the schedule as a versioned ledger, and
+    ``--replay-allocation`` replays a recorded ledger bit-identically.
+``rcm bench-report [PATH ...] [--check] [--json OUT]``
+    Render the performance trajectory: every ``BENCH_*.json`` benchmark
+    artifact evaluated against its recorded gate (speedup floors,
+    regression tolerances) in one table; ``--check`` exits non-zero on any
+    failed gate (the CI regression check).
 ``rcm serve --store sweeps.db``
     Launch the asynchronous sweep service (see ``docs/api.md``): submit
     sweep grids over HTTP, poll or stream job results, share one
@@ -179,6 +190,75 @@ def build_parser() -> argparse.ArgumentParser:
             "run or a running service are recalled without simulation, fresh cells are "
             "written back (batch engine only; results are bit-identical either way)"
         ),
+    )
+    simulate_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "variance-adaptive trial allocation: run the sweep in rounds, freeze each "
+            "q point once its pooled routability CI half-width reaches --ci-target, "
+            "and spend the saved trials nowhere — --trials becomes the per-point cap "
+            "(batch engine only; frozen points are bit-identical to a uniform sweep's "
+            "first rounds)"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--ci-target",
+        type=float,
+        metavar="HALFWIDTH",
+        help="Wilson CI half-width a point must reach to freeze (required with --adaptive)",
+    )
+    simulate_parser.add_argument(
+        "--min-trials",
+        type=int,
+        default=2,
+        help="trials every point receives unconditionally in the first adaptive round (default: %(default)s)",
+    )
+    simulate_parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="per-point trial cap for adaptive allocation (default: --trials)",
+    )
+    simulate_parser.add_argument(
+        "--allocation-out",
+        metavar="PATH",
+        help="record the allocation schedule (rcm-adaptive-allocation v1 ledger) for bit-identical replay",
+    )
+    simulate_parser.add_argument(
+        "--replay-allocation",
+        metavar="PATH",
+        help=(
+            "replay a recorded allocation ledger: run exactly the recorded per-point "
+            "trials (no CI decisions), reproducing the recorded run's rows bit-identically"
+        ),
+    )
+
+    bench_report_parser = subparsers.add_parser(
+        "bench-report",
+        help="render the perf-trajectory table from BENCH_*.json benchmark artifacts",
+        description=(
+            "Evaluate every benchmark artifact against its recorded gate (engine "
+            "speedup floor, dispatch fusion floor, backend regression tolerance, "
+            "churn and adaptive ratios) and render one pass/fail table.  With no "
+            "paths, all BENCH_*.json files in the working directory are used."
+        ),
+    )
+    bench_report_parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="PATH",
+        help="benchmark artifact files (default: ./BENCH_*.json)",
+    )
+    bench_report_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the machine-readable summary (gates, failures, rows) to a JSON file",
+    )
+    bench_report_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any gate fails (the CI regression check)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -494,13 +574,64 @@ def _simulate_churn_trace(arguments: argparse.Namespace) -> str:
     return "\n".join(sections)
 
 
+def _adaptive_arguments(arguments: argparse.Namespace):
+    """Resolve the simulate subcommand's adaptive flags to ``(config, ledger)``.
+
+    Exactly one of the two is non-``None`` in adaptive mode; both are
+    ``None`` for a plain uniform sweep.
+    """
+    replay_path = getattr(arguments, "replay_allocation", None)
+    adaptive = getattr(arguments, "adaptive", False)
+    if not adaptive and not replay_path:
+        if arguments.ci_target is not None:
+            raise InvalidParameterError("--ci-target requires --adaptive")
+        if arguments.allocation_out:
+            raise InvalidParameterError(
+                "--allocation-out requires --adaptive or --replay-allocation"
+            )
+        return None, None
+    if arguments.engine != "batch":
+        raise InvalidParameterError(
+            "--adaptive/--replay-allocation require the batch engine (per-cell "
+            "entropy streams); drop --engine scalar"
+        )
+    if replay_path:
+        if adaptive or arguments.ci_target is not None:
+            raise InvalidParameterError(
+                "--replay-allocation replays a recorded schedule; "
+                "do not combine it with --adaptive/--ci-target"
+            )
+        from .sim.adaptive import AllocationLedger
+
+        try:
+            ledger = AllocationLedger.load(replay_path)
+        except OSError as error:
+            raise InvalidParameterError(
+                f"cannot read allocation ledger {replay_path!r}: "
+                f"{error.strerror or error}"
+            ) from error
+        return None, ledger
+    if arguments.ci_target is None:
+        raise InvalidParameterError("--adaptive requires --ci-target")
+    from .sim.adaptive import AdaptiveConfig
+
+    config = AdaptiveConfig(
+        ci_target=arguments.ci_target,
+        min_trials=arguments.min_trials,
+        max_trials=arguments.max_trials,
+    )
+    return config, None
+
+
 def _command_simulate(arguments: argparse.Namespace) -> str:
     if arguments.churn_trace:
         return _simulate_churn_trace(arguments)
+    adaptive_config, replay_ledger = _adaptive_arguments(arguments)
     # The batch engine always sweeps through the SweepRunner (not the
     # sequential-stream driver) so the printed numbers are identical for
     # every --workers value and both --fused/--per-cell dispatch modes.
     profile = None
+    adaptive_report = None
     if arguments.engine == "batch":
         cell_store = None
         if getattr(arguments, "store", None):
@@ -522,8 +653,25 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
                 arguments.d,
                 arguments.q,
                 failure_model=arguments.failure_model,
+                adaptive=adaptive_config,
+                replay_allocation=replay_ledger,
             )
             profile = runner.profile
+            adaptive_report = runner.last_adaptive_report
+            if adaptive_report is not None:
+                mode = "replayed" if adaptive_report.replayed else "adaptive"
+                print(
+                    f"[{mode}] {adaptive_report.trials_allocated} of "
+                    f"{adaptive_report.trials_uniform} uniform trials allocated over "
+                    f"{adaptive_report.rounds} round(s); {adaptive_report.trials_saved} saved",
+                    file=sys.stderr,
+                )
+                if arguments.allocation_out:
+                    runner.last_allocation_ledger().save(arguments.allocation_out)
+                    print(
+                        f"[{mode}] allocation ledger written to {arguments.allocation_out}",
+                        file=sys.stderr,
+                    )
             if cell_store is not None:
                 stats = runner.last_run_stats
                 print(
@@ -555,6 +703,18 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             ),
         )
     ]
+    if adaptive_report is not None:
+        sections.append("")
+        sections.append(
+            render_table(
+                adaptive_report.as_rows(),
+                title=(
+                    "[adaptive] per-point trial allocation "
+                    f"(ci_target={adaptive_report.config.ci_target:g}, "
+                    f"max_trials={adaptive_report.config.max_trials})"
+                ),
+            )
+        )
     if arguments.profile:
         if profile:
             sections.append("")
@@ -578,12 +738,55 @@ def _command_simulate(arguments: argparse.Namespace) -> str:
             "rows": rows,
             "profile": profile,
         }
+        if adaptive_report is not None:
+            config = adaptive_report.config
+            payload["adaptive"] = {
+                "replayed": adaptive_report.replayed,
+                "rounds": adaptive_report.rounds,
+                "ci_target": config.ci_target,
+                "confidence": config.confidence,
+                "min_trials": config.min_trials,
+                "max_trials": config.max_trials,
+                "trials_allocated": adaptive_report.trials_allocated,
+                "trials_uniform": adaptive_report.trials_uniform,
+                "trials_saved": adaptive_report.trials_saved,
+                "max_ci_halfwidth": adaptive_report.max_halfwidth,
+                "points": adaptive_report.as_rows(),
+            }
         with open(arguments.json, "w", encoding="utf-8") as handle:
             # allow_nan=False turns any non-finite value that slips past the
             # sanitizer into a hard error instead of invalid JSON output.
             json.dump(_json_safe(payload), handle, indent=2, allow_nan=False)
             handle.write("\n")
     return "\n".join(sections)
+
+
+def _command_bench_report(arguments: argparse.Namespace):
+    """``rcm bench-report``: the perf-trajectory table; returns (output, all_pass)."""
+    from .report.bench import discover_artifacts, evaluate_reports, summarize
+
+    paths = list(arguments.artifacts) or discover_artifacts()
+    rows = evaluate_reports(paths)
+    summary = summarize(rows)
+    table_rows = [
+        {key: row[key] for key in ("benchmark", "metric", "value", "gate", "bound", "status", "source")}
+        for row in rows
+    ]
+    sections = [
+        render_table(table_rows, title="Performance trajectory (BENCH_*.json gates)"),
+        "",
+        (
+            f"{summary['gates_total']} gate(s) across {len(summary['artifacts'])} artifact(s): "
+            f"{summary['gates_failed']} failed"
+        ),
+    ]
+    if arguments.json:
+        import json
+
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_safe(summary), handle, indent=2, allow_nan=False)
+            handle.write("\n")
+    return "\n".join(sections), bool(summary["all_pass"])
 
 
 def _command_serve(arguments: argparse.Namespace) -> Optional[str]:
@@ -643,6 +846,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(list(argv) if argv is not None else None)
     if arguments.command == "simulate" and not arguments.q and not arguments.churn_trace:
         parser.error("simulate requires --q (or --churn-trace for trace-driven churn)")
+    exit_code = 0
     try:
         if arguments.command == "list":
             output = _command_list()
@@ -656,6 +860,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_compare(arguments)
         elif arguments.command == "simulate":
             output = _command_simulate(arguments)
+        elif arguments.command == "bench-report":
+            output, gates_pass = _command_bench_report(arguments)
+            if arguments.check and not gates_pass:
+                exit_code = 1
         elif arguments.command == "serve":
             output = _command_serve(arguments)
             if output is None:
@@ -674,7 +882,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # stdout at devnull so the interpreter's exit-time flush is quiet.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from .scalability_table import ScalabilityClassification
 from .symphony_sensitivity import SymphonySensitivity
 from .xor_vs_tree_ablation import XorVersusTreeAblation
 from .percolation_vs_routability import PercolationVersusRoutability
+from .adaptive_sampling import AdaptiveSampling
 from .churn_applicability import ChurnApplicability
 from .failure_modes import FailureModeComparison
 from .trace_churn import TraceChurn
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, Type[Experiment]] = {
         ChurnApplicability,
         FailureModeComparison,
         TraceChurn,
+        AdaptiveSampling,
     )
 }
 

@@ -161,7 +161,7 @@ class SweepService:
 
     def metrics_text(self) -> str:
         """The ``GET /metrics`` body (Prometheus text exposition format)."""
-        cached, computed = self.jobs.cache_totals()
+        requested, cached, computed, store_hits = self.jobs.cell_totals()
         lines = [
             "# HELP rcm_jobs_total Jobs accepted by this instance, by lifecycle state.",
             "# TYPE rcm_jobs_total gauge",
@@ -169,12 +169,21 @@ class SweepService:
         for state, count in sorted(self.jobs.state_counts().items()):
             lines.append(f'rcm_jobs_total{{state="{state}"}} {count}')
         lines += [
+            "# HELP rcm_cells_requested_total Sweep cells requested across completed shards (cached + computed).",
+            "# TYPE rcm_cells_requested_total counter",
+            f"rcm_cells_requested_total {requested}",
             "# HELP rcm_cells_cached_total Sweep cells served from the cache (no kernel execution).",
             "# TYPE rcm_cells_cached_total counter",
             f"rcm_cells_cached_total {cached}",
             "# HELP rcm_cells_computed_total Sweep cells actually simulated.",
             "# TYPE rcm_cells_computed_total counter",
             f"rcm_cells_computed_total {computed}",
+            "# HELP rcm_store_hits_total Sweep cells recalled from the persistent result store (cache hits minus in-memory memo hits).",
+            "# TYPE rcm_store_hits_total counter",
+            f"rcm_store_hits_total {store_hits}",
+            "# HELP rcm_adaptive_trials_saved_total Trials adaptive allocation avoided versus the uniform grid.",
+            "# TYPE rcm_adaptive_trials_saved_total counter",
+            f"rcm_adaptive_trials_saved_total {self.jobs.adaptive_trials_saved_total()}",
             "# HELP rcm_store_cells Cells in the persistent result store.",
             "# TYPE rcm_store_cells gauge",
             f"rcm_store_cells {len(self.store)}",

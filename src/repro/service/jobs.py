@@ -135,6 +135,10 @@ class SweepJobRequest:
     #: for ordinary static sweeps.  See the ``churn`` object of
     #: :data:`SWEEP_REQUEST_SCHEMA`.
     churn: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Variance-adaptive allocation parameters as a sorted ``(key, value)``
+    #: tuple (same hashability trick as ``churn``); ``None`` for uniform
+    #: grids.  See the ``adaptive`` object of :data:`SWEEP_REQUEST_SCHEMA`.
+    adaptive: Optional[Tuple[Tuple[str, object], ...]] = None
 
     @classmethod
     def from_payload(
@@ -154,7 +158,13 @@ class SweepJobRequest:
         churn = payload.get("churn")
         if churn is None and "q" not in payload:
             raise ServiceError("invalid sweep request: body: 'q' is required unless 'churn' is given")
-        return cls(
+        adaptive = payload.get("adaptive")
+        if adaptive is not None and churn is not None:
+            raise ServiceError(
+                "invalid sweep request: body: 'adaptive' cannot be combined with 'churn' "
+                "(adaptive allocation applies to static q sweeps only)"
+            )
+        request = cls(
             geometries=tuple(payload["geometries"]),
             d=int(payload["d"]),
             q=tuple(float(value) for value in payload.get("q", ())),
@@ -167,6 +177,31 @@ class SweepJobRequest:
             trials=int(payload.get("trials", default_trials)),
             seed=int(payload.get("seed", default_seed)),
             churn=None if churn is None else tuple(sorted(churn.items())),
+            adaptive=None if adaptive is None else tuple(sorted(adaptive.items())),
+        )
+        if request.adaptive is not None:
+            # Semantic validation up front: a bad adaptive config would fail
+            # every shard identically, so reject the submission instead.
+            try:
+                request.adaptive_config().resolved(request.trials)
+            except InvalidParameterError as error:
+                raise ServiceError(f"invalid sweep request: body.adaptive: {error}") from error
+        return request
+
+    def adaptive_config(self):
+        """The request's :class:`~repro.sim.adaptive.AdaptiveConfig` (or ``None``)."""
+        if self.adaptive is None:
+            return None
+        from ..sim.adaptive import AdaptiveConfig
+
+        options = dict(self.adaptive)
+        return AdaptiveConfig(
+            ci_target=float(options["ci_target"]),
+            min_trials=int(options.get("min_trials", 2)),
+            max_trials=(
+                int(options["max_trials"]) if options.get("max_trials") is not None else None
+            ),
+            confidence=float(options.get("confidence", 0.95)),
         )
 
     def as_payload(self) -> Dict[str, object]:
@@ -182,6 +217,8 @@ class SweepJobRequest:
         }
         if self.churn is not None:
             payload["churn"] = dict(self.churn)
+        if self.adaptive is not None:
+            payload["adaptive"] = dict(self.adaptive)
         return payload
 
     @property
@@ -189,7 +226,9 @@ class SweepJobRequest:
         """Number of grid cells the submission expands to.
 
         A churn shard counts one cell per simulated step (each step is one
-        measured row, the churn analogue of a grid point).
+        measured row, the churn analogue of a grid point).  For adaptive
+        submissions this is the uniform worst case — the allocator's whole
+        point is that fewer cells end up requested.
         """
         if self.churn is not None:
             return len(self.geometries) * int(dict(self.churn)["steps"])
@@ -247,6 +286,8 @@ class SweepJob:
         self._cells_done = 0
         self._cells_cached = 0
         self._cells_computed = 0
+        self._store_hits = 0
+        self._adaptive_trials_saved = 0
         self._retries = 0
         self._created = time.time()
         self._started: Optional[float] = None
@@ -269,7 +310,14 @@ class SweepJob:
             if shard.attempts > 1:
                 self._retries += 1
 
-    def _shard_done(self, index: int, result: Dict[str, object], stats: SweepRunStats) -> None:
+    def _shard_done(
+        self,
+        index: int,
+        result: Dict[str, object],
+        stats: SweepRunStats,
+        *,
+        trials_saved: int = 0,
+    ) -> None:
         with self._lock:
             shard = self._shards[index]
             shard.state = "done"
@@ -278,6 +326,8 @@ class SweepJob:
             self._cells_done += stats.requested
             self._cells_cached += stats.cached
             self._cells_computed += stats.computed
+            self._store_hits += stats.store_hits
+            self._adaptive_trials_saved += trials_saved
 
     def _shard_failed(self, index: int, error: str) -> None:
         with self._lock:
@@ -428,6 +478,21 @@ class SweepJob:
         """``(cells_cached, cells_computed)`` so far."""
         with self._lock:
             return self._cells_cached, self._cells_computed
+
+    def cell_counts(self) -> Tuple[int, int, int, int]:
+        """``(requested, cached, computed, store_hits)`` so far.
+
+        ``cached`` counts memo *and* store hits; ``store_hits`` is the
+        persistent-store subset (the operator-facing cache-effectiveness
+        signal the ``/metrics`` endpoint exposes).
+        """
+        with self._lock:
+            return self._cells_done, self._cells_cached, self._cells_computed, self._store_hits
+
+    def adaptive_trials_saved(self) -> int:
+        """Trials adaptive allocation avoided versus the uniform grid."""
+        with self._lock:
+            return self._adaptive_trials_saved
 
     def retry_count(self) -> int:
         """Total shard retry attempts (attempts beyond each shard's first)."""
@@ -630,6 +695,21 @@ class JobManager:
             computed += job_computed
         return cached, computed
 
+    def cell_totals(self) -> Tuple[int, int, int, int]:
+        """Aggregate ``(requested, cached, computed, store_hits)`` across every job."""
+        requested = cached = computed = store_hits = 0
+        for job in self.jobs():
+            job_requested, job_cached, job_computed, job_store = job.cell_counts()
+            requested += job_requested
+            cached += job_cached
+            computed += job_computed
+            store_hits += job_store
+        return requested, cached, computed, store_hits
+
+    def adaptive_trials_saved_total(self) -> int:
+        """Aggregate trials saved by adaptive allocation across every job."""
+        return sum(job.adaptive_trials_saved() for job in self.jobs())
+
     def retries_total(self) -> int:
         """Total shard retry attempts across every retained job."""
         return sum(job.retry_count() for job in self.jobs())
@@ -782,10 +862,18 @@ class JobManager:
                 return
             key, runner, lock = self._acquire_runner(job.request)
             outcome["runner_key"] = key
+            adaptive_config = job.request.adaptive_config()
             with lock:
-                sweep = runner.sweep(geometry, job.request.d, list(job.request.q), model)
+                sweep = runner.sweep(
+                    geometry,
+                    job.request.d,
+                    list(job.request.q),
+                    model,
+                    adaptive=adaptive_config,
+                )
                 stats = runner.last_run_stats
-            outcome["result"] = {
+                report = runner.last_adaptive_report
+            result: Dict[str, object] = {
                 "geometry": sweep.geometry,
                 "system": sweep.system,
                 "d": sweep.d,
@@ -793,6 +881,17 @@ class JobManager:
                 "backend": sweep.backend_name,
                 "rows": sweep.as_rows(),
             }
+            if report is not None:
+                result["adaptive"] = {
+                    "rounds": report.rounds,
+                    "trials_allocated": report.trials_allocated,
+                    "trials_uniform": report.trials_uniform,
+                    "trials_saved": report.trials_saved,
+                    "max_ci_halfwidth": report.max_halfwidth,
+                    "points": report.as_rows(),
+                }
+                outcome["trials_saved"] = report.trials_saved
+            outcome["result"] = result
             outcome["stats"] = stats
         except BaseException as error:  # classified by the watchdog, not here
             outcome["error"] = error
@@ -826,7 +925,12 @@ class JobManager:
                 return
             error = outcome.get("error")
             if error is None:
-                job._shard_done(index, outcome["result"], outcome["stats"])
+                job._shard_done(
+                    index,
+                    outcome["result"],
+                    outcome["stats"],
+                    trials_saved=int(outcome.get("trials_saved", 0)),
+                )
                 return
             if attempt >= attempts_allowed or not _is_transient(error):
                 job._shard_failed(index, f"{type(error).__name__}: {error}")

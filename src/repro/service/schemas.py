@@ -122,6 +122,44 @@ SWEEP_REQUEST_SCHEMA: Dict = {
                 },
             },
         },
+        "adaptive": {
+            "type": "object",
+            "additionalProperties": False,
+            "required": ["ci_target"],
+            "description": (
+                "Variance-adaptive trial allocation instead of the uniform "
+                "trials-per-point grid: each shard's sweep runs in rounds and a q "
+                "point freezes once its pooled routability CI half-width reaches "
+                "ci_target; 'trials' becomes the per-point cap.  Frozen points are "
+                "bit-identical to the first rounds of the equivalent uniform sweep "
+                "(same per-cell streams), so cached cells still hit the shared "
+                "store.  Not combinable with 'churn'."
+            ),
+            "properties": {
+                "ci_target": {
+                    "type": "number",
+                    "minimum": 0,
+                    "maximum": 1,
+                    "description": "Wilson CI half-width a point must reach to freeze (strictly between 0 and 1).",
+                },
+                "min_trials": {
+                    "type": "integer",
+                    "minimum": 1,
+                    "description": "Trials every point receives unconditionally in the first round (default 2).",
+                },
+                "max_trials": {
+                    "type": "integer",
+                    "minimum": 1,
+                    "description": "Per-point trial cap (default: the request's 'trials').",
+                },
+                "confidence": {
+                    "type": "number",
+                    "minimum": 0,
+                    "maximum": 1,
+                    "description": "Confidence level of the Wilson interval (strictly between 0 and 1; default 0.95).",
+                },
+            },
+        },
         "failure_models": {
             "type": "array",
             "items": {"type": "string"},
@@ -251,6 +289,36 @@ JOB_RESULTS_SCHEMA: Dict = {
                     "d": {"type": "integer"},
                     "failure_model": {"type": "string"},
                     "backend": {"type": ["string", "null"]},
+                    "adaptive": {
+                        "type": "object",
+                        "description": (
+                            "Present on adaptive-allocation shards only: the trial "
+                            "schedule the allocator settled on (per-point allocated "
+                            "trials, attempts, CI half-width and freeze reason, plus "
+                            "the totals saved versus the uniform grid)."
+                        ),
+                        "properties": {
+                            "rounds": {"type": "integer"},
+                            "trials_allocated": {"type": "integer"},
+                            "trials_uniform": {"type": "integer"},
+                            "trials_saved": {"type": "integer"},
+                            "max_ci_halfwidth": {"type": ["number", "null"]},
+                            "points": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "properties": {
+                                        "q": {"type": "number"},
+                                        "model": {"type": "string"},
+                                        "trials": {"type": "integer"},
+                                        "attempts": {"type": "integer"},
+                                        "ci_halfwidth": {"type": ["number", "null"]},
+                                        "frozen_by": {"type": "string"},
+                                    },
+                                },
+                            },
+                        },
+                    },
                     "rows": {
                         "type": "array",
                         "description": "Identical to ResilienceSweepResult.as_rows(): one row per q with routability, failed_path_percent and attempts; degenerate points report null. Churn shards (submissions with 'churn') instead carry ChurnSimulationResult.as_rows(): one row per step with usable_fraction, measured_routability and attempts.",
@@ -325,8 +393,9 @@ OPENAPI_DOCUMENT_SCHEMA: Dict = {
 METRICS_TEXT_SCHEMA: Dict = {
     "type": "string",
     "description": (
-        "Prometheus text exposition: rcm_jobs_total{state=...}, rcm_cells_cached_total, "
-        "rcm_cells_computed_total, rcm_store_cells, rcm_shard_retries_total, "
+        "Prometheus text exposition: rcm_jobs_total{state=...}, rcm_cells_requested_total, "
+        "rcm_cells_cached_total, rcm_cells_computed_total, rcm_store_hits_total, "
+        "rcm_adaptive_trials_saved_total, rcm_store_cells, rcm_shard_retries_total, "
         "rcm_jobs_rejected_total{reason=...}, rcm_queue_depth, "
         "rcm_job_duration_seconds_{count,sum,max}{state=...}, rcm_uptime_seconds."
     ),

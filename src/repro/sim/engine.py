@@ -1026,6 +1026,7 @@ class SweepRunner:
         self._completed: Dict[SweepCell, SweepCellResult] = {}
         self._profile: Dict[str, float] = {}
         self._last_run_stats = SweepRunStats(requested=0, memo_hits=0, store_hits=0, computed=0)
+        self._last_adaptive_report = None
         self._pool = None
         self._pool_size = 0
 
@@ -1051,8 +1052,28 @@ class SweepRunner:
 
     @property
     def last_run_stats(self) -> SweepRunStats:
-        """Cache accounting of the most recent :meth:`run` (or :meth:`sweep`) call."""
+        """Cache accounting of the most recent :meth:`run` (or :meth:`sweep`) call.
+
+        For an adaptive sweep the counters are totals across every
+        allocation round, so they describe the whole sweep exactly as they
+        do for a uniform one.
+        """
         return self._last_run_stats
+
+    @property
+    def last_adaptive_report(self):
+        """The :class:`~repro.sim.adaptive.AdaptiveReport` of the most recent
+        adaptive (or replayed) :meth:`sweep`, or ``None`` if the last sweep
+        was uniform."""
+        return self._last_adaptive_report
+
+    def last_allocation_ledger(self):
+        """The replayable :class:`~repro.sim.adaptive.AllocationLedger` of the
+        most recent adaptive sweep, stamped with this runner's cell-identity
+        parameters; ``None`` if the last sweep was uniform."""
+        if self._last_adaptive_report is None:
+            return None
+        return self._last_adaptive_report.ledger(pairs=self._pairs, base_seed=self._base_seed)
 
     @property
     def profile(self) -> Dict[str, float]:
@@ -1153,8 +1174,22 @@ class SweepRunner:
         the severities of the severity axis, interpreted by each model.
         """
         grid = self._grid(geometries, d, failure_probabilities, failure_models)
-        pending = [cell for cell in grid if cell not in self._completed]
-        memo_hits = len(grid) - len(pending)
+        return self.run_cells(grid)
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> Dict[SweepCell, SweepCellResult]:
+        """Compute (or recall) an explicit list of grid cells; cell -> result.
+
+        This is the one execution path behind :meth:`run` (which expands a
+        rectangular grid into it) and the adaptive allocator (which submits
+        exactly the cells each round's schedule calls for): memo lookup,
+        persistent-store recall, fused/per-cell dispatch, store write-back
+        and :attr:`last_run_stats` accounting all live here.  Duplicate
+        cells in ``cells`` are computed once and reported once in the
+        stats.
+        """
+        requested = list(dict.fromkeys(cells))
+        pending = [cell for cell in requested if cell not in self._completed]
+        memo_hits = len(requested) - len(pending)
         store_hits = 0
         if pending and self._cell_store is not None:
             recalled = self._cell_store.get_cells(
@@ -1182,12 +1217,12 @@ class SweepRunner:
                     overlay_options=self._overlay_options,
                 )
         self._last_run_stats = SweepRunStats(
-            requested=len(grid),
+            requested=len(requested),
             memo_hits=memo_hits,
             store_hits=store_hits,
             computed=len(pending),
         )
-        return {cell: self._completed[cell] for cell in grid}
+        return {cell: self._completed[cell] for cell in requested}
 
     def _run_per_cell(self, pending: List[SweepCell]) -> List[SweepCellResult]:
         """PR-1 dispatch: one engine task per cell."""
@@ -1294,13 +1329,35 @@ class SweepRunner:
         d: int,
         failure_probabilities: Sequence[float],
         failure_model: str = "uniform",
+        *,
+        adaptive=None,
+        replay_allocation=None,
     ) -> "ResilienceSweepResult":
         """Run one geometry's sweep under one failure model and pool replicates
-        into the standard result types."""
+        into the standard result types.
+
+        ``adaptive`` optionally switches from the uniform ``replicates``
+        budget to variance-adaptive trial allocation (an
+        :class:`~repro.sim.adaptive.AdaptiveConfig`): the sweep then runs in
+        rounds, freezing each ``q`` point once its pooled routability CI
+        half-width reaches the target, and :attr:`last_adaptive_report` /
+        :meth:`last_allocation_ledger` record what was consumed.  Cells keep
+        their uniform entropy keys (round ``k`` is replicate ``k``), so
+        every consumed cell — and any result-store hit — is byte-equal to
+        the uniform sweep's.  ``replay_allocation`` instead replays a
+        recorded :class:`~repro.sim.adaptive.AllocationLedger` exactly,
+        reproducing the adaptive run's rows bit-identically.  With neither,
+        behaviour (and every measured byte) is unchanged.
+        """
         # Imported here: static_resilience imports this module at load time.
         from .static_resilience import ResilienceSweepResult, StaticResilienceResult
 
         failure_model = check_failure_model_kind(failure_model)
+        if adaptive is not None or replay_allocation is not None:
+            return self._sweep_adaptive(
+                geometry, d, failure_probabilities, failure_model, adaptive, replay_allocation
+            )
+        self._last_adaptive_report = None
         cell_results = self.run([geometry], d, failure_probabilities, [failure_model])
         overlay_cls = OVERLAY_CLASSES[geometry]
         point_results = []
@@ -1332,6 +1389,116 @@ class SweepRunner:
                     d=d,
                     q=q,
                     trials=self._replicates,
+                    pairs_per_trial=self._pairs,
+                    metrics=pooled,
+                    degenerate_trials=degenerate,
+                    failure_model=failure_model,
+                )
+            )
+        return ResilienceSweepResult(
+            geometry=geometry,
+            system=overlay_cls.system_name,
+            d=d,
+            results=tuple(point_results),
+            backend_name=self._backend_name,
+            failure_model=failure_model,
+        )
+
+    def _sweep_adaptive(
+        self,
+        geometry: str,
+        d: int,
+        failure_probabilities: Sequence[float],
+        failure_model: str,
+        adaptive,
+        replay_allocation,
+    ) -> "ResilienceSweepResult":
+        """The adaptive/replayed branch of :meth:`sweep` (arguments validated
+        here; the uniform branch stays byte-for-byte untouched)."""
+        from .adaptive import AdaptiveConfig, AllocationLedger, SweepPoint, run_allocation
+        from .static_resilience import ResilienceSweepResult, StaticResilienceResult
+
+        if not len(failure_probabilities):
+            raise InvalidParameterError("failure_probabilities must not be empty")
+        if geometry not in OVERLAY_CLASSES:
+            raise UnknownGeometryError(
+                f"unknown geometry {geometry!r}; expected one of {sorted(OVERLAY_CLASSES)}"
+            )
+        if replay_allocation is not None:
+            if adaptive is not None:
+                raise InvalidParameterError(
+                    "pass either adaptive or replay_allocation, not both"
+                )
+            if not isinstance(replay_allocation, AllocationLedger):
+                raise InvalidParameterError(
+                    "replay_allocation must be an AllocationLedger "
+                    f"(got {type(replay_allocation).__name__})"
+                )
+            if (
+                replay_allocation.pairs != self._pairs
+                or replay_allocation.base_seed != self._base_seed
+            ):
+                raise InvalidParameterError(
+                    "allocation ledger was recorded at "
+                    f"pairs={replay_allocation.pairs}, base_seed={replay_allocation.base_seed}; "
+                    f"this runner is configured with pairs={self._pairs}, "
+                    f"base_seed={self._base_seed} — replayed rows would not be bit-identical"
+                )
+            config = replay_allocation.config
+        else:
+            if not isinstance(adaptive, AdaptiveConfig):
+                raise InvalidParameterError(
+                    f"adaptive must be an AdaptiveConfig (got {type(adaptive).__name__})"
+                )
+            config = adaptive.resolved(self._replicates)
+        points = [
+            SweepPoint(
+                geometry=geometry, d=d, q=check_failure_probability(q), model=failure_model
+            )
+            for q in failure_probabilities
+        ]
+        # One run_cells call per allocation round: fused dispatch groups are
+        # rebuilt from each round's schedule, and the round stats accumulate
+        # so last_run_stats describes the whole adaptive sweep.
+        totals = {"requested": 0, "memo_hits": 0, "store_hits": 0, "computed": 0}
+
+        def run_round(batch):
+            outcome = self.run_cells(batch)
+            stats = self._last_run_stats
+            totals["requested"] += stats.requested
+            totals["memo_hits"] += stats.memo_hits
+            totals["store_hits"] += stats.store_hits
+            totals["computed"] += stats.computed
+            return outcome
+
+        results, report = run_allocation(points, run_round, config, replay=replay_allocation)
+        self._last_run_stats = SweepRunStats(**totals)
+        self._last_adaptive_report = report
+        overlay_cls = OVERLAY_CLASSES[geometry]
+        point_results = []
+        for point, allocation in zip(points, report.allocations):
+            pooled: Optional[RoutingMetrics] = None
+            degenerate = 0
+            for result in results[point]:
+                if result.degenerate:
+                    degenerate += 1
+                    continue
+                pooled = result.metrics if pooled is None else pooled.merged_with(result.metrics)
+            if pooled is None:
+                pooled = RoutingMetrics(
+                    attempts=0,
+                    successes=0,
+                    mean_hops_successful=float("nan"),
+                    mean_hops_failed=float("nan"),
+                    failure_reasons={},
+                )
+            point_results.append(
+                StaticResilienceResult(
+                    geometry=geometry,
+                    system=overlay_cls.system_name,
+                    d=d,
+                    q=point.q,
+                    trials=allocation.trials,
                     pairs_per_trial=self._pairs,
                     metrics=pooled,
                     degenerate_trials=degenerate,

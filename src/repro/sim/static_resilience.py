@@ -39,14 +39,24 @@ from ..dht import (
     make_rng,
     summarize_routes,
 )
-from ..dht.failures import FailureModel, make_failure_model
+from ..dht.failures import FailureModel, check_failure_model_kind, make_failure_model
 from ..exceptions import InvalidParameterError, UnknownGeometryError
 from ..validation import (
     check_failure_probability,
     check_identifier_length,
     check_positive_int,
 )
-from .engine import ROUTING_ENGINES, BackendLike, check_engine, resolve_backend, route_pairs_stacked
+from .engine import (
+    ROUTING_ENGINES,
+    BackendLike,
+    SweepCell,
+    SweepCellResult,
+    _empty_outcome,
+    _sample_cell,
+    check_engine,
+    resolve_backend,
+    route_pairs_stacked,
+)
 from .sampling import sample_survivor_pair_arrays
 
 __all__ = [
@@ -365,16 +375,42 @@ def sweep_failure_probabilities(
     engine: str = "batch",
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
+    adaptive=None,
 ) -> ResilienceSweepResult:
     """Measure routability of ``overlay`` across a sweep of failure probabilities.
 
     ``failure_models`` selects the failure model(s) the sweep runs under
     (see :func:`_resolve_sweep_models` for the accepted forms); by default
     every point uses the paper's uniform model at its ``q``.
+
+    ``adaptive`` optionally switches to variance-adaptive trial allocation
+    (an :class:`~repro.sim.adaptive.AdaptiveConfig`): ``trials`` then acts
+    as the per-point budget cap and each point freezes once its pooled
+    routability CI half-width reaches the target.  Adaptive mode draws each
+    trial from the engine's per-cell entropy scheme (trial ``k`` of a point
+    is grid replicate ``k``), so a point that consumed ``k`` trials is
+    byte-equal to the first ``k`` replicates of a
+    :class:`~repro.sim.engine.SweepRunner` sweep on the same overlay build;
+    it requires the batch engine, an integer ``seed`` (not an ``rng``
+    stream) and a registry failure-model kind.
     """
     if len(failure_probabilities) == 0:
         raise InvalidParameterError("failure_probabilities must not be empty")
     engine = check_engine(engine)
+    if adaptive is not None:
+        return _adaptive_sweep(
+            overlay,
+            failure_probabilities,
+            pairs=pairs,
+            trials=trials,
+            rng=rng,
+            seed=seed,
+            failure_models=failure_models,
+            engine=engine,
+            batch_size=batch_size,
+            backend=backend,
+            adaptive=adaptive,
+        )
     models, model_label = _resolve_sweep_models(failure_probabilities, failure_models)
     # The scalar oracle path routes through Overlay.route and uses no kernel
     # backend at all; resolving one there would only emit a misleading
@@ -405,6 +441,142 @@ def sweep_failure_probabilities(
     )
 
 
+def _adaptive_sweep(
+    overlay: Overlay,
+    failure_probabilities: Sequence[float],
+    *,
+    pairs: int,
+    trials: int,
+    rng: Optional[np.random.Generator],
+    seed: Optional[int],
+    failure_models: FailureModelsLike,
+    engine: str,
+    batch_size: Optional[int],
+    backend: BackendLike,
+    adaptive,
+) -> ResilienceSweepResult:
+    """The adaptive branch of :func:`sweep_failure_probabilities`.
+
+    Each trial of a point is one engine grid cell (``replicate = trial
+    index``) sampled with the per-cell entropy streams of
+    :func:`~repro.sim.engine._sample_cell`, so the allocator can extend any
+    point's trial count without perturbing another point's stream — the
+    property uniform sequential ``rng`` consumption cannot provide.
+    """
+    from .adaptive import AdaptiveConfig, SweepPoint, run_allocation
+
+    if not isinstance(adaptive, AdaptiveConfig):
+        raise InvalidParameterError(
+            f"adaptive must be an AdaptiveConfig (got {type(adaptive).__name__})"
+        )
+    if engine != "batch":
+        raise InvalidParameterError(
+            "adaptive allocation requires the batch engine (per-cell entropy "
+            "streams); the scalar oracle path only supports uniform sweeps"
+        )
+    if rng is not None:
+        raise InvalidParameterError(
+            "adaptive allocation derives per-cell streams from an integer seed; "
+            "pass seed=... instead of an rng generator"
+        )
+    if failure_models is None:
+        model_kind = "uniform"
+    elif isinstance(failure_models, str):
+        model_kind = check_failure_model_kind(failure_models)
+    else:
+        raise InvalidParameterError(
+            "adaptive allocation supports failure_models=None or a registry "
+            "kind name (per-cell streams need a model kind in the cell key)"
+        )
+    pairs = check_positive_int(pairs, "pairs")
+    # The paper's arXiv submission date: the same default base seed as
+    # SweepRunner, so overlay-level and runner-level adaptive sweeps agree.
+    base_seed = 20060328 if seed is None else int(seed)
+    config = adaptive.resolved(trials)
+    resolved_backend = resolve_backend(backend)
+    points = [
+        SweepPoint(
+            geometry=overlay.geometry_name,
+            d=overlay.d,
+            q=check_failure_probability(q),
+            model=model_kind,
+        )
+        for q in failure_probabilities
+    ]
+
+    def run_round(batch):
+        # Mirror the engine's fused group: sample every cell's mask/pairs
+        # from its own stream, then route all non-degenerate cells in one
+        # stacked kernel invocation.
+        results: Dict[SweepCell, SweepCellResult] = {}
+        masks: List[np.ndarray] = []
+        sources: List[np.ndarray] = []
+        destinations: List[np.ndarray] = []
+        routed: List[SweepCell] = []
+        for cell in batch:
+            sampled = _sample_cell(overlay, cell, pairs, base_seed)
+            if sampled is None:
+                results[cell] = SweepCellResult(
+                    cell=cell, pairs=pairs, metrics=_empty_outcome().to_metrics(), degenerate=True
+                )
+                continue
+            alive, cell_sources, cell_destinations = sampled
+            masks.append(alive)
+            sources.append(cell_sources)
+            destinations.append(cell_destinations)
+            routed.append(cell)
+        if routed:
+            outcome = route_pairs_stacked(
+                overlay,
+                np.concatenate(sources),
+                np.concatenate(destinations),
+                np.stack(masks),
+                np.repeat(np.arange(len(routed), dtype=np.int64), pairs),
+                batch_size=batch_size,
+                backend=resolved_backend,
+            )
+            for index, cell in enumerate(routed):
+                cell_outcome = outcome.sliced(index * pairs, (index + 1) * pairs)
+                results[cell] = SweepCellResult(
+                    cell=cell, pairs=pairs, metrics=cell_outcome.to_metrics()
+                )
+        return results
+
+    results, report = run_allocation(points, run_round, config)
+    point_results = []
+    for point, allocation in zip(points, report.allocations):
+        pooled: Optional[RoutingMetrics] = None
+        degenerate = 0
+        for result in results[point]:
+            if result.degenerate:
+                degenerate += 1
+                continue
+            pooled = result.metrics if pooled is None else pooled.merged_with(result.metrics)
+        if pooled is None:
+            pooled = summarize_routes([])
+        point_results.append(
+            StaticResilienceResult(
+                geometry=overlay.geometry_name,
+                system=overlay.system_name,
+                d=overlay.d,
+                q=point.q,
+                trials=allocation.trials,
+                pairs_per_trial=pairs,
+                metrics=pooled,
+                degenerate_trials=degenerate,
+                failure_model=model_kind,
+            )
+        )
+    return ResilienceSweepResult(
+        geometry=overlay.geometry_name,
+        system=overlay.system_name,
+        d=overlay.d,
+        results=tuple(point_results),
+        backend_name=resolved_backend.name,
+        failure_model=model_kind,
+    )
+
+
 def simulate_geometry(
     geometry: str,
     d: int,
@@ -417,15 +589,30 @@ def simulate_geometry(
     engine: str = "batch",
     batch_size: Optional[int] = None,
     backend: BackendLike = None,
+    adaptive=None,
     **overlay_options,
 ) -> ResilienceSweepResult:
     """Build the overlay for ``geometry`` and sweep the given failure probabilities.
 
     This is the one-call entry point used by the Figure 6 experiments and
-    the quickstart example.
+    the quickstart example.  ``adaptive`` switches to variance-adaptive
+    trial allocation (see :func:`sweep_failure_probabilities`).
     """
     generator = np.random.default_rng(seed)
     overlay = build_overlay(geometry, d, rng=generator, **overlay_options)
+    if adaptive is not None:
+        return sweep_failure_probabilities(
+            overlay,
+            failure_probabilities,
+            pairs=pairs,
+            trials=trials,
+            seed=seed,
+            failure_models=failure_models,
+            engine=engine,
+            batch_size=batch_size,
+            backend=backend,
+            adaptive=adaptive,
+        )
     return sweep_failure_probabilities(
         overlay,
         failure_probabilities,

@@ -330,3 +330,172 @@ class TestResultStoreOption:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "is a directory" in captured.err
+
+
+class TestAdaptiveOption:
+    def _simulate(self, *extra):
+        return [
+            "simulate", "--geometry", "xor", "--d", "6",
+            "--q", "0.1", "0.4", "0.9", "--pairs", "40", "--trials", "4",
+            *extra,
+        ]
+
+    def test_parser_accepts_the_adaptive_flags(self):
+        arguments = build_parser().parse_args(
+            self._simulate(
+                "--adaptive", "--ci-target", "0.05",
+                "--min-trials", "3", "--max-trials", "8",
+            )
+        )
+        assert arguments.adaptive is True
+        assert arguments.ci_target == 0.05
+        assert arguments.min_trials == 3
+        assert arguments.max_trials == 8
+
+    def test_adaptive_prints_the_allocation_table(self, capsys):
+        assert main(self._simulate("--adaptive", "--ci-target", "0.08")) == 0
+        captured = capsys.readouterr()
+        assert "per-point trial allocation" in captured.out
+        assert "frozen_by" in captured.out
+        assert "[adaptive]" in captured.err
+
+    def test_adaptive_requires_ci_target(self, capsys):
+        assert main(self._simulate("--adaptive")) == 2
+        assert "--ci-target" in capsys.readouterr().err
+
+    def test_ci_target_requires_adaptive(self, capsys):
+        assert main(self._simulate("--ci-target", "0.05")) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_adaptive_rejects_the_scalar_engine(self, capsys):
+        assert main(
+            self._simulate("--adaptive", "--ci-target", "0.05", "--engine", "scalar")
+        ) == 2
+        assert "batch engine" in capsys.readouterr().err
+
+    def test_allocation_out_requires_adaptive_mode(self, capsys):
+        assert main(self._simulate("--allocation-out", "ledger.txt")) == 2
+        assert "--allocation-out requires" in capsys.readouterr().err
+
+    def test_record_and_replay_round_trip_is_bit_identical(self, tmp_path, capsys):
+        ledger_path = tmp_path / "allocation.txt"
+        assert main(
+            self._simulate(
+                "--adaptive", "--ci-target", "0.08",
+                "--allocation-out", str(ledger_path),
+            )
+        ) == 0
+        recorded = capsys.readouterr()
+        assert ledger_path.read_text(encoding="utf-8").startswith(
+            "# rcm-adaptive-allocation v1"
+        )
+        assert main(
+            self._simulate("--replay-allocation", str(ledger_path))
+        ) == 0
+        replayed = capsys.readouterr()
+        # The measured-rows table is byte-identical; only the allocation
+        # schedule's frozen_by column differs (every row reads "replay").
+        measured = recorded.out.split("[adaptive]")[0]
+        assert replayed.out.split("[adaptive]")[0] == measured
+        assert replayed.out.count("replay") >= 3
+        assert "[replayed]" in replayed.err
+
+    def test_replay_rejects_adaptive_flags(self, tmp_path, capsys):
+        ledger_path = tmp_path / "allocation.txt"
+        main(
+            self._simulate(
+                "--adaptive", "--ci-target", "0.08",
+                "--allocation-out", str(ledger_path),
+            )
+        )
+        capsys.readouterr()
+        assert main(
+            self._simulate(
+                "--replay-allocation", str(ledger_path), "--adaptive",
+            )
+        ) == 2
+        assert "do not combine" in capsys.readouterr().err
+
+    def test_missing_ledger_file_exits_2_with_one_line_error(self, tmp_path, capsys):
+        assert main(
+            self._simulate("--replay-allocation", str(tmp_path / "absent.txt"))
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read allocation ledger")
+        assert "Traceback" not in captured.err
+
+    def test_json_export_records_the_allocation(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.json"
+        assert main(
+            self._simulate(
+                "--adaptive", "--ci-target", "0.08", "--json", str(path),
+            )
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        adaptive = payload["adaptive"]
+        assert adaptive["replayed"] is False
+        assert adaptive["ci_target"] == 0.08
+        assert adaptive["max_trials"] == 4
+        assert adaptive["trials_allocated"] + adaptive["trials_saved"] == 3 * 4
+        assert len(adaptive["points"]) == 3
+        assert all(point["frozen_by"] for point in adaptive["points"])
+
+
+class TestBenchReportCommand:
+    def _artifact(self, tmp_path, ratio):
+        import json
+
+        path = tmp_path / "BENCH_adaptive.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "adaptive-trial-allocation",
+                    "pairs_saved_ratio": ratio,
+                    "ratio_floor": 2.0,
+                }
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_renders_the_trajectory_table(self, tmp_path, capsys):
+        path = self._artifact(tmp_path, 2.5)
+        assert main(["bench-report", path]) == 0
+        output = capsys.readouterr().out
+        assert "Performance trajectory" in output
+        assert "pairs_saved_ratio" in output
+        assert "pass" in output
+        assert "0 failed" in output
+
+    def test_check_fails_on_a_regressed_gate(self, tmp_path, capsys):
+        path = self._artifact(tmp_path, 1.5)
+        assert main(["bench-report", path]) == 0  # report-only: table, exit 0
+        capsys.readouterr()
+        assert main(["bench-report", path, "--check"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_summary_export(self, tmp_path, capsys):
+        import json
+
+        artifact = self._artifact(tmp_path, 2.5)
+        summary_path = tmp_path / "trajectory.json"
+        assert main(["bench-report", artifact, "--json", str(summary_path)]) == 0
+        capsys.readouterr()
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        assert summary["report"] == "rcm-bench-trajectory"
+        assert summary["all_pass"] is True
+        assert summary["gates_total"] == 1
+
+    def test_no_artifacts_anywhere_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # empty directory: discovery finds nothing
+        assert main(["bench-report"]) == 2
+        assert "no benchmark artifacts" in capsys.readouterr().err
+
+    def test_unreadable_artifact_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["bench-report", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

@@ -405,3 +405,91 @@ class TestAsgiAdapter:
                 "lifespan.startup.complete",
                 "lifespan.shutdown.complete",
             ]
+
+
+class TestAdaptiveSubmissions:
+    """Adaptive trial allocation through the service tier."""
+
+    BODY = {
+        "geometries": ["ring"],
+        "d": 6,
+        "q": [0.1, 0.3],
+        "adaptive": {"ci_target": 0.2, "min_trials": 1},
+    }
+
+    def direct_adaptive(self):
+        from repro.sim.adaptive import AdaptiveConfig
+
+        with SweepRunner(pairs=PAIRS, replicates=TRIALS, base_seed=SEED) as runner:
+            sweep = runner.sweep(
+                "ring", 6, [0.1, 0.3],
+                adaptive=AdaptiveConfig(ci_target=0.2, min_trials=1),
+            )
+            return sweep.as_rows(), runner.last_adaptive_report
+
+    def test_adaptive_job_reports_the_allocation(self, tmp_path):
+        reference_rows, reference_report = self.direct_adaptive()
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, accepted = request(port, "POST", "/v1/sweeps", body=self.BODY)
+            assert status == 202
+            final = wait_for_state(port, accepted["job_id"])
+            assert final["state"] == "done"
+
+            status, results = request(
+                port, "GET", f"/v1/jobs/{accepted['job_id']}/results"
+            )
+            assert status == 200
+            (shard,) = results["results"]
+            assert shard["rows"] == reference_rows
+            adaptive = shard["adaptive"]
+            assert adaptive["trials_allocated"] == reference_report.trials_allocated
+            assert adaptive["trials_uniform"] == 2 * TRIALS
+            assert adaptive["trials_saved"] == reference_report.trials_saved
+            assert adaptive["rounds"] == reference_report.rounds
+            assert adaptive["points"] == reference_report.as_rows()
+
+            status, metrics = request(port, "GET", "/metrics")
+            assert status == 200
+            assert (
+                f"rcm_adaptive_trials_saved_total {reference_report.trials_saved}"
+                in metrics
+            )
+            assert "rcm_cells_requested_total" in metrics
+            assert "rcm_store_hits_total" in metrics
+
+    def test_adaptive_resubmission_is_served_from_the_cache(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            _, first = request(port, "POST", "/v1/sweeps", body=self.BODY)
+            wait_for_state(port, first["job_id"])
+            _, first_results = request(port, "GET", f"/v1/jobs/{first['job_id']}/results")
+
+            _, second = request(port, "POST", "/v1/sweeps", body=self.BODY)
+            final = wait_for_state(port, second["job_id"])
+            _, second_results = request(port, "GET", f"/v1/jobs/{second['job_id']}/results")
+        assert final["cells"]["computed"] == 0
+        assert second_results["results"] == first_results["results"]
+
+    def test_invalid_adaptive_bodies_rejected_400(self, tmp_path):
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            for bad_adaptive in (
+                {"ci_target": 1.5},  # out of schema range
+                {"min_trials": 2},  # missing ci_target
+                {"ci_target": 0.1, "surprise": 1},  # unknown key
+                {"ci_target": 0.1, "min_trials": 3, "max_trials": 2},  # semantic
+            ):
+                body = {**self.BODY, "adaptive": bad_adaptive}
+                status, payload = request(port, "POST", "/v1/sweeps", body=body)
+                assert status == 400, bad_adaptive
+                assert "invalid sweep request" in payload["error"]
+
+    def test_adaptive_cannot_be_combined_with_churn(self, tmp_path):
+        body = {
+            "geometries": ["ring"],
+            "d": 6,
+            "adaptive": {"ci_target": 0.1},
+            "churn": {"generator": "markov", "steps": 3},
+        }
+        with running_service(tmp_path / "cells.db") as (port, _service):
+            status, payload = request(port, "POST", "/v1/sweeps", body=body)
+            assert status == 400
+            assert "cannot be combined with 'churn'" in payload["error"]
